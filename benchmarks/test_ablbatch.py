@@ -1,0 +1,12 @@
+"""Benchmark: ablation/sensitivity study repro.experiments.abl_batch_size."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import abl_batch_size
+
+
+def test_ablbatch(benchmark):
+    """Time the abl_batch_size study and verify its expected-shape claims."""
+    result = benchmark(abl_batch_size.run)
+    report(result)
+    assert_claims(result)

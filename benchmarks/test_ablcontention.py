@@ -1,0 +1,12 @@
+"""Benchmark: fleet network-contention study."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import abl_network_contention
+
+
+def test_ablcontention(benchmark):
+    """Time the network-contention study and verify its shape claims."""
+    result = benchmark(abl_network_contention.run)
+    report(result)
+    assert_claims(result)

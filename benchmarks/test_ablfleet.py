@@ -1,0 +1,12 @@
+"""Benchmark: ablation/sensitivity study repro.experiments.abl_multijob."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import abl_multijob
+
+
+def test_ablfleet(benchmark):
+    """Time the abl_multijob study and verify its expected-shape claims."""
+    result = benchmark(abl_multijob.run)
+    report(result)
+    assert_claims(result)

@@ -1,0 +1,12 @@
+"""Benchmark: ablation/sensitivity study repro.experiments.abl_lane_sweep."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import abl_lane_sweep
+
+
+def test_abllanes(benchmark):
+    """Time the abl_lane_sweep study and verify its expected-shape claims."""
+    result = benchmark(abl_lane_sweep.run)
+    report(result)
+    assert_claims(result)

@@ -1,0 +1,12 @@
+"""Benchmark: ablation/sensitivity study repro.experiments.abl_network_sweep."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import abl_network_sweep
+
+
+def test_ablnet(benchmark):
+    """Time the abl_network_sweep study and verify its expected-shape claims."""
+    result = benchmark(abl_network_sweep.run)
+    report(result)
+    assert_claims(result)

@@ -1,0 +1,12 @@
+"""Benchmark: ablation/sensitivity study repro.experiments.abl_double_buffering."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import abl_double_buffering
+
+
+def test_ablpipe(benchmark):
+    """Time the abl_double_buffering study and verify its expected-shape claims."""
+    result = benchmark(abl_double_buffering.run)
+    report(result)
+    assert_claims(result)

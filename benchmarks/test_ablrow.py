@@ -1,0 +1,12 @@
+"""Benchmark: ablation/sensitivity study repro.experiments.abl_row_vs_columnar."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import abl_row_vs_columnar
+
+
+def test_ablrow(benchmark):
+    """Time the abl_row_vs_columnar study and verify its expected-shape claims."""
+    result = benchmark(abl_row_vs_columnar.run)
+    report(result)
+    assert_claims(result)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig11 via repro.experiments.fig11_throughput."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig11_throughput
+
+
+def test_fig11(benchmark):
+    """Time the fig11 experiment and verify its paper claims."""
+    result = benchmark(fig11_throughput.run)
+    report(result)
+    assert_claims(result)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig12 via repro.experiments.fig12_latency."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig12_latency
+
+
+def test_fig12(benchmark):
+    """Time the fig12 experiment and verify its paper claims."""
+    result = benchmark(fig12_latency.run)
+    report(result)
+    assert_claims(result)

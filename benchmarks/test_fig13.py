@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig13 via repro.experiments.fig13_network."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig13_network
+
+
+def test_fig13(benchmark):
+    """Time the fig13 experiment and verify its paper claims."""
+    result = benchmark(fig13_network.run)
+    report(result)
+    assert_claims(result)

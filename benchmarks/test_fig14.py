@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig14 via repro.experiments.fig14_provisioning."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig14_provisioning
+
+
+def test_fig14(benchmark):
+    """Time the fig14 experiment and verify its paper claims."""
+    result = benchmark(fig14_provisioning.run)
+    report(result)
+    assert_claims(result)

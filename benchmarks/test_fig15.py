@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig15 via repro.experiments.fig15_efficiency."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig15_efficiency
+
+
+def test_fig15(benchmark):
+    """Time the fig15 experiment and verify its paper claims."""
+    result = benchmark(fig15_efficiency.run)
+    report(result)
+    assert_claims(result)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig16 via repro.experiments.fig16_alternatives."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig16_alternatives
+
+
+def test_fig16(benchmark):
+    """Time the fig16 experiment and verify its paper claims."""
+    result = benchmark(fig16_alternatives.run)
+    report(result)
+    assert_claims(result)

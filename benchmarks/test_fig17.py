@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig17 via repro.experiments.fig17_sensitivity."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig17_sensitivity
+
+
+def test_fig17(benchmark):
+    """Time the fig17 experiment and verify its paper claims."""
+    result = benchmark(fig17_sensitivity.run)
+    report(result)
+    assert_claims(result)

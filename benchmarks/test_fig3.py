@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig3 via repro.experiments.fig3_colocated."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig3_colocated
+
+
+def test_fig3(benchmark):
+    """Time the fig3 experiment and verify its paper claims."""
+    result = benchmark(fig3_colocated.run)
+    report(result)
+    assert_claims(result)

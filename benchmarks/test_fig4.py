@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig4 via repro.experiments.fig4_cores_required."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig4_cores_required
+
+
+def test_fig4(benchmark):
+    """Time the fig4 experiment and verify its paper claims."""
+    result = benchmark(fig4_cores_required.run)
+    report(result)
+    assert_claims(result)

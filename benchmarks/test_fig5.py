@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig5 via repro.experiments.fig5_breakdown."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig5_breakdown
+
+
+def test_fig5(benchmark):
+    """Time the fig5 experiment and verify its paper claims."""
+    result = benchmark(fig5_breakdown.run)
+    report(result)
+    assert_claims(result)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Fig6 via repro.experiments.fig6_utilization."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import fig6_utilization
+
+
+def test_fig6(benchmark):
+    """Time the fig6 experiment and verify its paper claims."""
+    result = benchmark(fig6_utilization.run)
+    report(result)
+    assert_claims(result)

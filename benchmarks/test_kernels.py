@@ -1,0 +1,61 @@
+"""Microbenchmarks of the functional preprocessing kernels.
+
+These measure this reproduction's *actual* numpy kernel throughput (not the
+calibrated models) on mini-batch-sized columns — useful for comparing the
+functional layer against the paper's per-op characterization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.specs import get_model
+from repro.features.synthetic import SyntheticTableGenerator
+from repro.ops.bucketize import bucketize
+from repro.ops.lognorm import log_normalize
+from repro.ops.sigridhash import sigrid_hash
+
+BATCH = 8192
+
+
+@pytest.fixture(scope="module")
+def rm5_column():
+    spec = get_model("RM5")
+    gen = SyntheticTableGenerator(spec, seed=0)
+    rng = np.random.default_rng(0)
+    dense = rng.lognormal(1.5, 1.2, BATCH).astype(np.float64)
+    sparse = rng.integers(0, 2**40, BATCH * 20).astype(np.int64)
+    boundaries = gen.bucket_boundaries("int_0")
+    return dense, sparse, boundaries
+
+
+def test_bucketize_kernel(benchmark, rm5_column):
+    """Digitize one dense column of a mini-batch (m=4096 boundaries)."""
+    dense, _, boundaries = rm5_column
+    out = benchmark(bucketize, dense, boundaries)
+    assert out.max() <= len(boundaries)
+
+
+def test_sigridhash_kernel(benchmark, rm5_column):
+    """Hash one sparse column of a mini-batch (avg length 20)."""
+    _, sparse, _ = rm5_column
+    out = benchmark(sigrid_hash, sparse, 0xC0FFEE, 500_000)
+    assert out.max() < 500_000
+
+
+def test_log_kernel(benchmark, rm5_column):
+    """Log-normalize one dense column of a mini-batch."""
+    dense, _, _ = rm5_column
+    out = benchmark(log_normalize, dense)
+    assert np.all(out >= 0)
+
+
+def test_full_pipeline_rm1(benchmark):
+    """The entire Transform phase on a small RM1 batch (functional layer)."""
+    from repro.features.synthetic import generate_raw_table
+    from repro.ops.pipeline import PreprocessingPipeline
+
+    spec = get_model("RM1")
+    pipe = PreprocessingPipeline(spec)
+    raw = generate_raw_table(spec, 1024)
+    batch, _ = benchmark(pipe.run, raw)
+    assert batch.batch_size == 1024

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Table1 via repro.experiments.table1_models."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import table1_models
+
+
+def test_table1(benchmark):
+    """Time the table1 experiment and verify its paper claims."""
+    result = benchmark(table1_models.run)
+    report(result)
+    assert_claims(result)

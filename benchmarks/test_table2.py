@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Table2 via repro.experiments.table2_resources."""
+
+from conftest import assert_claims, report
+
+from repro.experiments import table2_resources
+
+
+def test_table2(benchmark):
+    """Time the table2 experiment and verify its paper claims."""
+    result = benchmark(table2_resources.run)
+    report(result)
+    assert_claims(result)

@@ -1,0 +1,82 @@
+"""Capacity planning: preprocessing fleet sizing and 3-year TCO.
+
+The scenario the paper's introduction motivates: a datacenter runs many
+concurrent RecSys training jobs over 8-GPU nodes, and the operator must
+choose between a disaggregated CPU preprocessing pool and PreSto SmartSSDs.
+For a fleet of training nodes per model, this example prints the provisioned
+resources, power, and 3-year cost of both options (Figures 4, 14, 15).
+
+Run:  python examples/capacity_planning.py [num_nodes]
+"""
+
+import sys
+
+from repro import all_models
+from repro.analysis.cost import cost_breakdown
+from repro.core.systems import DisaggCpuSystem, PreStoSystem
+from repro.experiments.common import format_table
+
+
+def plan_fleet(num_nodes: int) -> None:
+    rows = []
+    total_disagg_cost = total_presto_cost = 0.0
+    for spec in all_models():
+        disagg = DisaggCpuSystem(spec)
+        presto = PreStoSystem(spec)
+        cores = disagg.provision_for(8).num_workers * num_nodes
+        units = presto.provision_for(8).num_workers * num_nodes
+
+        disagg_power = disagg.power(cores)
+        presto_power = presto.power(units)
+        disagg_cost = cost_breakdown(disagg.capex(cores), disagg_power)
+        presto_cost = cost_breakdown(presto.capex(units), presto_power)
+        total_disagg_cost += disagg_cost.total
+        total_presto_cost += presto_cost.total
+        rows.append(
+            (
+                spec.name,
+                cores,
+                units,
+                disagg_power / 1e3,
+                presto_power / 1e3,
+                disagg_cost.total / 1e3,
+                presto_cost.total / 1e3,
+                disagg_cost.total / presto_cost.total,
+            )
+        )
+
+    print(
+        format_table(
+            [
+                "model",
+                "CPU cores",
+                "ISP units",
+                "Disagg kW",
+                "PreSto kW",
+                "Disagg k$",
+                "PreSto k$",
+                "savings (x)",
+            ],
+            rows,
+            title=(
+                f"Preprocessing fleet for {num_nodes} x 8-GPU training nodes "
+                f"per model (3-year CapEx + OpEx)"
+            ),
+        )
+    )
+    print(
+        f"\nFleet total: ${total_disagg_cost:,.0f} (Disagg) vs "
+        f"${total_presto_cost:,.0f} (PreSto) — "
+        f"{total_disagg_cost / total_presto_cost:.1f}x cheaper with PreSto"
+    )
+
+
+def main() -> None:
+    num_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    if num_nodes <= 0:
+        raise SystemExit("num_nodes must be positive")
+    plan_fleet(num_nodes)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""End-to-end training-pipeline simulation: who keeps the GPU busy?
+
+Simulates the full Figure 9 flow with the discrete-event engine for three
+deployments on the production-scale RM5 model:
+
+* co-located preprocessing (16 host cores, the DGX budget) — starves the GPU;
+* a disaggregated CPU pool provisioned via T/P — keeps it busy with ~367 cores;
+* PreSto — keeps it busy with 9 SmartSSDs.
+
+Run:  python examples/training_pipeline_sim.py
+"""
+
+from repro import get_model
+from repro.core.cpu_worker import CpuPreprocessingWorker
+from repro.core.endtoend import EndToEndSimulation
+from repro.core.isp_worker import IspPreprocessingWorker
+from repro.experiments.common import format_table
+
+
+def simulate(name, spec, worker_factory, num_gpus, num_batches, num_workers=None):
+    sim = EndToEndSimulation(spec, worker_factory, num_gpus=num_gpus)
+    if num_workers is None:
+        stats = sim.run(num_batches=num_batches, provision_to_demand=True)
+    else:
+        stats = sim.run(num_batches=num_batches, num_workers=num_workers)
+    return (
+        name,
+        stats.num_workers,
+        stats.wall_time,
+        100.0 * stats.gpu_utilization,
+        100.0 * stats.steady_state_utilization,
+        stats.training_throughput,
+    )
+
+
+def main() -> None:
+    spec = get_model("RM5")
+    print(f"Simulating {spec.name} training pipelines "
+          f"(batch {spec.batch_size})...\n")
+
+    rows = [
+        simulate(
+            "Co-located (16 cores, 1 GPU)",
+            spec,
+            lambda: CpuPreprocessingWorker(spec, colocated=True),
+            num_gpus=1,
+            num_batches=60,
+            num_workers=16,
+        ),
+        simulate(
+            "Disagg CPU pool (T/P, 8 GPUs)",
+            spec,
+            lambda: CpuPreprocessingWorker(spec),
+            num_gpus=8,
+            num_batches=400,
+        ),
+        simulate(
+            "PreSto ISP (T/P, 8 GPUs)",
+            spec,
+            lambda: IspPreprocessingWorker(spec),
+            num_gpus=8,
+            num_batches=400,
+        ),
+    ]
+    print(
+        format_table(
+            [
+                "deployment",
+                "workers",
+                "sim wall (s)",
+                "GPU util (%)",
+                "steady util (%)",
+                "samples/s",
+            ],
+            rows,
+            title="End-to-end pipeline simulation (RM5)",
+        )
+    )
+    print(
+        "\nThe co-located design caps at 16 workers and starves the GPU; both "
+        "provisioned designs sustain training, but PreSto does it with 9 "
+        "devices instead of hundreds of cores."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e . --no-build-isolation --no-use-pep517`
+works offline (no wheel package available in this environment)."""
+from setuptools import setup
+
+setup()

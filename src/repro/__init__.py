@@ -1,0 +1,77 @@
+"""repro — a reproduction of PreSto (ISCA 2024).
+
+PreSto is an in-storage data preprocessing system for training
+recommendation models (Lee, Kim, Rhu; ISCA 2024).  This package provides:
+
+* a functional RecSys preprocessing library (columnar storage, the
+  Bucketize / SigridHash / Log operators, train-ready mini-batch formats);
+* calibrated performance models for CPU-centric preprocessing, the PreSto
+  SmartSSD accelerator, GPU/FPGA alternatives, networks, and DLRM training;
+* a discrete-event simulator coupling preprocessing to training;
+* an experiment harness regenerating every table and figure of the paper's
+  evaluation (see :mod:`repro.experiments.report`).
+
+Quick start::
+
+    from repro import get_model, PreStoSystem
+
+    spec = get_model("RM5")
+    presto = PreStoSystem(spec)
+    plan = presto.provision_for(num_gpus=8)
+    print(plan.num_workers, "SmartSSDs feed 8 A100s")
+"""
+
+from repro.features.specs import (
+    DEFAULT_BATCH_SIZE,
+    MODEL_NAMES,
+    RECSYS_MODELS,
+    ModelSpec,
+    all_models,
+    get_model,
+)
+from repro.features.minibatch import KeyedJaggedTensor, MiniBatch
+from repro.features.synthetic import SyntheticTableGenerator, generate_raw_table
+from repro.ops.pipeline import OpCounts, PreprocessingPipeline
+from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.core.systems import (
+    A100PoolSystem,
+    CoLocatedCpuSystem,
+    DisaggCpuSystem,
+    PreStoSystem,
+    PreStoU280System,
+    U280PoolSystem,
+)
+from repro.core.cpu_worker import CpuPreprocessingWorker
+from repro.core.isp_worker import IspPreprocessingWorker
+from repro.core.endtoend import EndToEndSimulation
+from repro.core.provision import ProvisioningPlan, provision
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "MODEL_NAMES",
+    "RECSYS_MODELS",
+    "ModelSpec",
+    "all_models",
+    "get_model",
+    "KeyedJaggedTensor",
+    "MiniBatch",
+    "SyntheticTableGenerator",
+    "generate_raw_table",
+    "OpCounts",
+    "PreprocessingPipeline",
+    "CALIBRATION",
+    "Calibration",
+    "A100PoolSystem",
+    "CoLocatedCpuSystem",
+    "DisaggCpuSystem",
+    "PreStoSystem",
+    "PreStoU280System",
+    "U280PoolSystem",
+    "CpuPreprocessingWorker",
+    "IspPreprocessingWorker",
+    "EndToEndSimulation",
+    "ProvisioningPlan",
+    "provision",
+]

@@ -1,0 +1,18 @@
+"""Cost/energy analysis: the Section V-C cost-efficiency metric (CapEx +
+OpEx over a 3-year duration), energy-efficiency (performance/Watt), and
+shared normalization helpers."""
+
+from repro.analysis.cost import CostBreakdown, cost_efficiency, opex
+from repro.analysis.energy import energy_efficiency, preprocessing_energy_per_epoch
+from repro.analysis.metrics import geometric_mean, normalize_to, speedup
+
+__all__ = [
+    "CostBreakdown",
+    "cost_efficiency",
+    "opex",
+    "energy_efficiency",
+    "preprocessing_energy_per_epoch",
+    "geometric_mean",
+    "normalize_to",
+    "speedup",
+]

@@ -1,0 +1,31 @@
+"""Energy-efficiency analysis (Figure 15(a), Figure 16 right axis).
+
+Both compared systems sustain the same preprocessing throughput (the GPUs'
+demand), so energy-efficiency — useful samples per joule — differs only
+through preprocessing-side power.  performance/Watt for Figure 16 compares
+single devices at their own throughputs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def energy_efficiency(throughput: float, power_watts: float) -> float:
+    """Samples per joule: throughput (samples/s) over power (W)."""
+    if throughput < 0:
+        raise ConfigurationError("throughput must be non-negative")
+    if power_watts <= 0:
+        raise ConfigurationError("power must be positive")
+    return throughput / power_watts
+
+
+def preprocessing_energy_per_epoch(
+    power_watts: float, num_samples: float, throughput: float
+) -> float:
+    """Joules to preprocess one epoch of ``num_samples`` at ``throughput``."""
+    if throughput <= 0:
+        raise ConfigurationError("throughput must be positive")
+    if num_samples < 0 or power_watts < 0:
+        raise ConfigurationError("inputs must be non-negative")
+    return power_watts * (num_samples / throughput)

@@ -1,0 +1,59 @@
+"""Shared metric helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times faster ``improved`` is than ``baseline`` (latencies)."""
+    if improved <= 0:
+        raise ConfigurationError("improved latency must be positive")
+    if baseline < 0:
+        raise ConfigurationError("baseline latency must be non-negative")
+    return baseline / improved
+
+
+def normalize_to(values: Sequence[float], reference: float) -> List[float]:
+    """Scale a series so ``reference`` maps to 1.0 (paper-style bars)."""
+    if reference <= 0:
+        raise ConfigurationError("reference must be positive")
+    return [v / reference for v in values]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain average (the paper reports arithmetic averages)."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def share(part: float, total: float) -> float:
+    """Fraction ``part/total`` with validation."""
+    if total <= 0:
+        raise ConfigurationError("total must be positive")
+    if part < 0:
+        raise ConfigurationError("part must be non-negative")
+    return part / total
+
+
+def stacked_shares(breakdown: Dict[str, float]) -> Dict[str, float]:
+    """Convert a step->seconds breakdown to step->fraction-of-total."""
+    total = sum(breakdown.values())
+    if total <= 0:
+        raise ConfigurationError("breakdown sums to zero")
+    return {k: v / total for k, v in breakdown.items()}

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``report``          — run every experiment + ablation, print the full
+                        paper-vs-measured report and claims scoreboard;
+* ``list``            — list available experiment ids;
+* ``run <id> [...]``  — run one or more experiments by id (e.g. ``fig12``,
+                        ``table2``, ``abl-lanes``) and print their tables;
+* ``provision <model> [--gpus N]`` — print the T/P provisioning of every
+                        system design point for one Table I model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.core.systems import ALL_SYSTEM_FACTORIES
+from repro.experiments import report as report_mod
+from repro.features.specs import MODEL_NAMES, get_model
+
+#: short CLI ids -> report keys
+COMMAND_IDS: Dict[str, str] = {
+    "fig3": "Figure 3",
+    "fig4": "Figure 4",
+    "fig5": "Figure 5",
+    "fig6": "Figure 6",
+    "table1": "Table I",
+    "table2": "Table II",
+    "fig11": "Figure 11",
+    "fig12": "Figure 12",
+    "fig13": "Figure 13",
+    "fig14": "Figure 14",
+    "fig15": "Figure 15",
+    "fig16": "Figure 16",
+    "fig17": "Figure 17",
+    "abl-row": "Ablation: row vs columnar",
+    "abl-pipeline": "Ablation: double buffering",
+    "abl-lanes": "Ablation: unit lane sweep",
+    "abl-network": "Sensitivity: link speed",
+    "abl-contention": "Fleet: network contention",
+    "abl-batch": "Sensitivity: batch size",
+    "abl-fleet": "Fleet: multi-job scheduling",
+}
+
+
+def _runner_for(command_id: str):
+    key = COMMAND_IDS.get(command_id)
+    if key is None:
+        raise SystemExit(
+            f"unknown experiment {command_id!r}; try one of: "
+            + ", ".join(sorted(COMMAND_IDS))
+        )
+    runners = {**report_mod.EXPERIMENTS, **report_mod.ABLATIONS}
+    return runners[key]
+
+
+def cmd_report(_: argparse.Namespace) -> int:
+    """Full report."""
+    print(report_mod.render_report())
+    return 0
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    """Available experiment ids."""
+    for short, key in COMMAND_IDS.items():
+        print(f"{short:13} -> {key}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run selected experiments."""
+    for command_id in args.ids:
+        result = _runner_for(command_id)()
+        print(result.render())
+        print()
+    return 0
+
+
+def cmd_provision(args: argparse.Namespace) -> int:
+    """Provisioning summary across system designs."""
+    spec = get_model(args.model)
+    print(
+        f"{spec.name}: provisioning for {args.gpus} GPU(s), "
+        f"batch {spec.batch_size}"
+    )
+    for name, factory in ALL_SYSTEM_FACTORIES.items():
+        system = factory(spec)
+        try:
+            plan = system.provision_for(args.gpus)
+        except Exception as exc:  # co-located caps, etc.
+            print(f"  {name:14} not provisionable: {exc}")
+            continue
+        print(
+            f"  {name:14} {plan.num_workers:5d} workers  "
+            f"(P = {plan.worker_throughput:12,.0f} samples/s, "
+            f"headroom {plan.headroom:.2f}x)"
+        )
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Write every experiment's rows to CSV files for plotting."""
+    import csv
+    import os
+
+    os.makedirs(args.dir, exist_ok=True)
+    written = []
+    for command_id in args.ids or list(COMMAND_IDS):
+        result = _runner_for(command_id)()
+        rows = getattr(result, "rows", None)
+        if rows is None:
+            continue
+        path = os.path.join(args.dir, f"{command_id}.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            for row in rows():
+                writer.writerow(row)
+        written.append(path)
+    for path in written:
+        print(path)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PreSto (ISCA 2024) reproduction — experiment harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("report", help="run everything, print the full report").set_defaults(
+        func=cmd_report
+    )
+    sub.add_parser("list", help="list experiment ids").set_defaults(func=cmd_list)
+
+    run_parser = sub.add_parser("run", help="run selected experiments")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids (see `list`)")
+    run_parser.set_defaults(func=cmd_run)
+
+    export = sub.add_parser("export", help="write experiment rows as CSV")
+    export.add_argument("--dir", default="results")
+    export.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    export.set_defaults(func=cmd_export)
+
+    prov = sub.add_parser("provision", help="T/P provisioning for one model")
+    prov.add_argument("model", choices=MODEL_NAMES + [m.lower() for m in MODEL_NAMES])
+    prov.add_argument("--gpus", type=int, default=8)
+    prov.set_defaults(func=cmd_provision)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

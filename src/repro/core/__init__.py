@@ -1,0 +1,50 @@
+"""The paper's contribution: preprocessing workers (CPU baseline, PreSto ISP,
+and the alternative accelerators), system design points, the T/P
+provisioning logic, the preprocess manager, and the end-to-end
+preprocessing-feeds-training simulation."""
+
+from repro.core.worker import BREAKDOWN_STEPS, PreprocessingWorker, normalize_breakdown
+from repro.core.cpu_worker import CpuPreprocessingWorker
+from repro.core.isp_worker import IspPreprocessingWorker
+from repro.core.accel_worker import (
+    GpuPoolWorker,
+    U280PoolWorker,
+    PreStoU280Worker,
+)
+from repro.core.provision import ProvisioningPlan, provision
+from repro.core.systems import (
+    PreprocessingSystem,
+    DisaggCpuSystem,
+    CoLocatedCpuSystem,
+    PreStoSystem,
+    A100PoolSystem,
+    U280PoolSystem,
+    PreStoU280System,
+    ALL_SYSTEM_FACTORIES,
+)
+from repro.core.manager import PreprocessManager
+from repro.core.endtoend import EndToEndSimulation, PipelineStats
+
+__all__ = [
+    "BREAKDOWN_STEPS",
+    "PreprocessingWorker",
+    "normalize_breakdown",
+    "CpuPreprocessingWorker",
+    "IspPreprocessingWorker",
+    "GpuPoolWorker",
+    "U280PoolWorker",
+    "PreStoU280Worker",
+    "ProvisioningPlan",
+    "provision",
+    "PreprocessingSystem",
+    "DisaggCpuSystem",
+    "CoLocatedCpuSystem",
+    "PreStoSystem",
+    "A100PoolSystem",
+    "U280PoolSystem",
+    "PreStoU280System",
+    "ALL_SYSTEM_FACTORIES",
+    "PreprocessManager",
+    "EndToEndSimulation",
+    "PipelineStats",
+]

@@ -1,0 +1,73 @@
+"""Baseline CPU preprocessing worker (one worker per core, Section II-D).
+
+A CPU worker executes the whole ETL sequence serially, so its throughput is
+simply ``batch / latency``.  The worker can also run *functionally*: given a
+stored partition it actually extracts, transforms, and packs the mini-batch
+via the functional layer — integration tests use this to prove the modeled
+system computes the same tensors as a direct in-memory pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.dataio.columnar import ColumnarFileReader
+from repro.features.minibatch import MiniBatch
+from repro.features.specs import ModelSpec
+from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.hardware.cpu import CpuCoreModel
+from repro.core.worker import PreprocessingWorker
+from repro.ops.pipeline import OpCounts, PreprocessingPipeline
+
+
+class CpuPreprocessingWorker(PreprocessingWorker):
+    """One disaggregated (or co-located) CPU preprocessing worker."""
+
+    kind = "Disagg"
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        calibration: Calibration = CALIBRATION,
+        remote_storage: bool = True,
+        colocated: bool = False,
+        pipeline: Optional[PreprocessingPipeline] = None,
+    ) -> None:
+        super().__init__(spec)
+        self.cal = calibration
+        self.remote_storage = remote_storage
+        self.colocated = colocated
+        self.model = CpuCoreModel(calibration)
+        self.pipeline = pipeline or PreprocessingPipeline(spec)
+
+    # -- performance -----------------------------------------------------------
+
+    def batch_breakdown(self) -> Dict[str, float]:
+        """Figure 5 step breakdown for one mini-batch on one core.
+
+        Co-located workers share the training node with the trainer process,
+        so every step is slowed by the co-location interference factor
+        (Section III-A / Figure 3).
+        """
+        latencies = self.model.batch_latency(
+            self.spec, remote_storage=self.remote_storage
+        )
+        breakdown = latencies.as_dict()
+        if self.colocated:
+            slowdown = 1.0 / self.cal.colocation_factor
+            breakdown = {step: value * slowdown for step, value in breakdown.items()}
+        return breakdown
+
+    def throughput(self) -> float:
+        """Serial worker: one batch per end-to-end latency."""
+        return self.spec.batch_size / self.batch_latency()
+
+    # -- functional execution ----------------------------------------------------
+
+    def preprocess_partition(
+        self, file_bytes: bytes, batch_id: int = 0
+    ) -> Tuple[MiniBatch, OpCounts]:
+        """Actually run Extract + Transform on one stored partition."""
+        reader = ColumnarFileReader(file_bytes)
+        raw = reader.read_columns(self.pipeline.required_columns())
+        return self.pipeline.run(raw, batch_id=batch_id)

@@ -1,0 +1,91 @@
+"""Preprocess manager — the producer side of Figure 9.
+
+The preprocess manager receives the training job's configuration and the
+measured training throughput ``T`` from the train manager, derives the
+worker count via T/P, spawns the workers (CPU cores or SmartSSD ISP units),
+and keeps the train manager's input queue replenished (steps 2–5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import ProvisioningError
+from repro.features.specs import ModelSpec
+from repro.core.provision import ProvisioningPlan, workers_for
+from repro.core.worker import PreprocessingWorker
+from repro.sim.engine import Engine, Process
+from repro.sim.resources import Store
+
+
+class PreprocessManager:
+    """Spawns and manages preprocessing workers for one training job."""
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        worker_factory: Callable[[], PreprocessingWorker],
+    ) -> None:
+        self.spec = spec
+        self.worker_factory = worker_factory
+        self.workers: List[PreprocessingWorker] = []
+
+    # -- provisioning (step 2) ----------------------------------------------
+
+    def measure_worker_throughput(self) -> float:
+        """Offline measurement of one worker's throughput ``P``."""
+        return self.worker_factory().throughput()
+
+    def plan(self, training_throughput: float) -> ProvisioningPlan:
+        """Derive the worker allocation from the trainer's demand ``T``."""
+        worker_throughput = self.measure_worker_throughput()
+        return ProvisioningPlan(
+            spec_name=self.spec.name,
+            training_throughput=training_throughput,
+            worker_throughput=worker_throughput,
+            num_workers=workers_for(training_throughput, worker_throughput),
+        )
+
+    # -- worker lifecycle (steps 3-5) -----------------------------------------
+
+    def launch(
+        self,
+        engine: Engine,
+        queue: Store,
+        num_batches: int,
+        num_workers: Optional[int] = None,
+        training_throughput: Optional[float] = None,
+    ) -> List[Process]:
+        """Spawn workers that together produce ``num_batches`` mini-batches.
+
+        Either pass an explicit ``num_workers`` or a ``training_throughput``
+        to provision against.  Batches are split round-robin so every worker
+        produces an equal share (partitions are placed round-robin too).
+        """
+        if num_workers is None:
+            if training_throughput is None:
+                raise ProvisioningError(
+                    "need num_workers or training_throughput to launch"
+                )
+            num_workers = self.plan(training_throughput).num_workers
+        if num_workers <= 0:
+            raise ProvisioningError("cannot launch zero workers")
+
+        self.workers = [self.worker_factory() for _ in range(num_workers)]
+        processes = []
+        base, extra = divmod(num_batches, num_workers)
+        for index, worker in enumerate(self.workers):
+            share = base + (1 if index < extra else 0)
+            if share == 0:
+                continue
+            processes.append(
+                engine.spawn(
+                    f"worker-{index}", worker.produce(engine, queue, share)
+                )
+            )
+        return processes
+
+    @property
+    def total_batches_produced(self) -> int:
+        """Mini-batches produced across all workers so far."""
+        return sum(w.batches_produced for w in self.workers)

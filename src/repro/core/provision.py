@@ -1,0 +1,67 @@
+"""T/P provisioning — step 2 of the Figure 9 software flow.
+
+The train manager stress-tests the GPUs to find the maximum training
+throughput ``T``; the preprocess manager measures one worker's preprocessing
+throughput ``P`` offline; the number of workers to allocate is ``ceil(T/P)``
+so preprocessing never starves the trainers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ProvisioningError
+from repro.features.specs import ModelSpec
+from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.training.gpu import GpuTrainingModel
+
+
+@dataclass(frozen=True)
+class ProvisioningPlan:
+    """Outcome of the T/P computation for one training job."""
+
+    spec_name: str
+    training_throughput: float  # T: samples/s demanded by the GPUs
+    worker_throughput: float  # P: samples/s of one preprocessing worker
+    num_workers: int  # ceil(T / P)
+
+    @property
+    def aggregate_preprocessing_throughput(self) -> float:
+        """Samples/s the allocated workers supply."""
+        return self.num_workers * self.worker_throughput
+
+    @property
+    def headroom(self) -> float:
+        """Supply over demand (>= 1.0 means the GPUs never starve)."""
+        if self.training_throughput <= 0:
+            return float("inf")
+        return self.aggregate_preprocessing_throughput / self.training_throughput
+
+
+def workers_for(training_throughput: float, worker_throughput: float) -> int:
+    """``ceil(T / P)`` with input validation."""
+    if worker_throughput <= 0:
+        raise ProvisioningError("worker throughput must be positive")
+    if training_throughput < 0:
+        raise ProvisioningError("training throughput must be non-negative")
+    if training_throughput == 0:
+        return 0
+    return math.ceil(training_throughput / worker_throughput)
+
+
+def provision(
+    spec: ModelSpec,
+    worker_throughput: float,
+    num_gpus: int = 8,
+    calibration: Calibration = CALIBRATION,
+) -> ProvisioningPlan:
+    """Full provisioning flow for one training job on ``num_gpus`` GPUs."""
+    gpu = GpuTrainingModel(calibration)
+    demand = gpu.node_throughput(spec, num_gpus)
+    return ProvisioningPlan(
+        spec_name=spec.name,
+        training_throughput=demand,
+        worker_throughput=worker_throughput,
+        num_workers=workers_for(demand, worker_throughput),
+    )

@@ -1,0 +1,157 @@
+"""Fleet-level preprocessing scheduler.
+
+Section III-A: "hundreds to thousands of such production-level RecSys models
+are developed by ML engineers, invoking numerous concurrent training jobs
+executed over several tens of thousands of high-performance GPUs".  Each job
+needs its own preprocessing allocation; the fleet operator provisions a
+finite resource pool (CPU cores for Disagg, SmartSSDs for PreSto) and admits
+jobs against it.
+
+The scheduler implements exactly that: per-job T/P sizing, first-fit
+admission against pool capacity, and fleet-level power/cost accounting —
+the substrate for the multi-job ablation experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProvisioningError
+from repro.features.specs import ModelSpec
+from repro.core.provision import ProvisioningPlan
+from repro.core.systems import PreprocessingSystem
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """One training job: a model trained on some number of GPUs."""
+
+    job_id: str
+    spec: ModelSpec
+    num_gpus: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ConfigurationError(f"job {self.job_id!r} needs at least one GPU")
+
+
+@dataclass
+class JobAllocation:
+    """Outcome of admitting one job."""
+
+    job: TrainingJob
+    plan: ProvisioningPlan
+    admitted: bool
+    reason: str = ""
+
+    @property
+    def workers(self) -> int:
+        """Workers granted (0 when rejected)."""
+        return self.plan.num_workers if self.admitted else 0
+
+
+@dataclass
+class FleetReport:
+    """Fleet-level outcome of scheduling a job mix."""
+
+    system_name: str
+    pool_capacity: int
+    allocations: List[JobAllocation] = field(default_factory=list)
+    power_watts: float = 0.0
+    capex: float = 0.0
+
+    @property
+    def admitted_jobs(self) -> List[JobAllocation]:
+        return [a for a in self.allocations if a.admitted]
+
+    @property
+    def rejected_jobs(self) -> List[JobAllocation]:
+        return [a for a in self.allocations if not a.admitted]
+
+    @property
+    def workers_used(self) -> int:
+        """Total pool capacity consumed."""
+        return sum(a.workers for a in self.allocations)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool consumed."""
+        if self.pool_capacity <= 0:
+            return 0.0
+        return self.workers_used / self.pool_capacity
+
+    @property
+    def admitted_gpu_demand(self) -> float:
+        """Aggregate training samples/s the admitted jobs consume."""
+        return sum(a.plan.training_throughput for a in self.admitted_jobs)
+
+
+class FleetScheduler:
+    """First-fit admission of training jobs against a preprocessing pool."""
+
+    def __init__(self, system_factory, pool_capacity: int) -> None:
+        if pool_capacity <= 0:
+            raise ConfigurationError("pool_capacity must be positive")
+        self.system_factory = system_factory
+        self.pool_capacity = pool_capacity
+
+    def schedule(self, jobs: List[TrainingJob]) -> FleetReport:
+        """Admit jobs in order while the pool has room.
+
+        Per-model worker throughput is measured once and cached, mirroring
+        the preprocess manager's offline P measurement.
+        """
+        if not jobs:
+            raise ProvisioningError("no jobs to schedule")
+        throughput_cache: Dict[str, Tuple[PreprocessingSystem, float]] = {}
+        remaining = self.pool_capacity
+        allocations: List[JobAllocation] = []
+        total_workers = 0
+        reference_system: Optional[PreprocessingSystem] = None
+
+        for job in jobs:
+            key = job.spec.name
+            if key not in throughput_cache:
+                system = self.system_factory(job.spec)
+                throughput_cache[key] = (system, system.worker_throughput())
+            system, worker_throughput = throughput_cache[key]
+            reference_system = reference_system or system
+            plan = system.provision_for(job.num_gpus)
+            if plan.num_workers <= remaining:
+                allocations.append(JobAllocation(job=job, plan=plan, admitted=True))
+                remaining -= plan.num_workers
+                total_workers += plan.num_workers
+            else:
+                allocations.append(
+                    JobAllocation(
+                        job=job,
+                        plan=plan,
+                        admitted=False,
+                        reason=(
+                            f"needs {plan.num_workers} workers, "
+                            f"{remaining} left in the pool"
+                        ),
+                    )
+                )
+
+        assert reference_system is not None
+        return FleetReport(
+            system_name=reference_system.name,
+            pool_capacity=self.pool_capacity,
+            allocations=allocations,
+            power_watts=reference_system.power(total_workers),
+            capex=reference_system.capex(total_workers),
+        )
+
+    def min_pool_for(self, jobs: List[TrainingJob]) -> int:
+        """Smallest pool that admits every job."""
+        if not jobs:
+            raise ProvisioningError("no jobs given")
+        throughput_cache: Dict[str, PreprocessingSystem] = {}
+        total = 0
+        for job in jobs:
+            if job.spec.name not in throughput_cache:
+                throughput_cache[job.spec.name] = self.system_factory(job.spec)
+            total += throughput_cache[job.spec.name].provision_for(job.num_gpus).num_workers
+        return total

@@ -1,0 +1,98 @@
+"""Abstract preprocessing worker and shared breakdown utilities.
+
+Every worker type (CPU core, PreSto ISP unit, GPU/FPGA pool device) exposes
+the same three quantities the paper's evaluation uses:
+
+* a per-mini-batch latency *breakdown* over the Figure 5/12 steps;
+* an end-to-end per-batch latency (the breakdown's sum);
+* a steady-state throughput (per-batch for serial workers, pipeline-
+  bottleneck for double-buffered devices).
+
+Workers are also DES producers: :meth:`PreprocessingWorker.produce` is a
+process that pushes mini-batch tokens into the train manager's input queue
+with the right timing.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.features.specs import ModelSpec
+from repro.sim.engine import Engine, Timeout
+from repro.sim.resources import Store
+
+#: canonical step order (Figure 5 / Figure 12 legends)
+BREAKDOWN_STEPS = (
+    "extract_read",
+    "extract_decode",
+    "bucketize",
+    "sigridhash",
+    "log",
+    "format_conversion",
+    "else_time",
+    "load",
+)
+
+
+def normalize_breakdown(
+    breakdown: Dict[str, float], reference_total: float
+) -> Dict[str, float]:
+    """Scale a step breakdown so values are fractions of ``reference_total``
+    (how Figures 5 and 12 normalize their stacked bars)."""
+    if reference_total <= 0:
+        raise ConfigurationError("reference_total must be positive")
+    return {step: breakdown.get(step, 0.0) / reference_total for step in BREAKDOWN_STEPS}
+
+
+def breakdown_total(breakdown: Dict[str, float]) -> float:
+    """Sum of a step breakdown."""
+    return sum(breakdown.get(step, 0.0) for step in BREAKDOWN_STEPS)
+
+
+class PreprocessingWorker(abc.ABC):
+    """One preprocessing worker of any technology."""
+
+    #: human-readable design-point name ("Disagg", "PreSto", ...)
+    kind: str = "abstract"
+
+    def __init__(self, spec: ModelSpec) -> None:
+        self.spec = spec
+        self.batches_produced = 0
+
+    # -- performance interface ----------------------------------------------
+
+    @abc.abstractmethod
+    def batch_breakdown(self) -> Dict[str, float]:
+        """Seconds per Figure-5 step for one mini-batch."""
+
+    def batch_latency(self) -> float:
+        """End-to-end seconds per mini-batch."""
+        return breakdown_total(self.batch_breakdown())
+
+    @abc.abstractmethod
+    def throughput(self) -> float:
+        """Steady-state samples/s of this worker."""
+
+    def batch_interval(self) -> float:
+        """Seconds between consecutive mini-batches at steady state."""
+        return self.spec.batch_size / self.throughput()
+
+    # -- DES producer -----------------------------------------------------------
+
+    def produce(self, engine: Engine, queue: Store, num_batches: int):
+        """Process: emit ``num_batches`` batch tokens into ``queue``.
+
+        The first batch appears after the full latency; subsequent batches
+        follow at the steady-state interval (equal to the latency for serial
+        CPU workers, the pipeline bottleneck for double-buffered devices).
+        """
+        if num_batches < 0:
+            raise ConfigurationError("num_batches must be non-negative")
+        latency = self.batch_latency()
+        interval = self.batch_interval()
+        for index in range(num_batches):
+            yield Timeout(latency if index == 0 else interval)
+            self.batches_produced += 1
+            yield queue.put({"worker": self.kind, "index": index})

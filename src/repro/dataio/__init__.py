@@ -1,0 +1,51 @@
+"""Columnar storage substrate.
+
+This package is the reproduction's stand-in for Apache Parquet: a
+self-contained columnar file format with row groups, per-column encodings
+(plain / varint / run-length / dictionary), CRC-checked pages, and a footer
+that enables selective column reads — the property Section II-B of the paper
+relies on ("fetch features X and W without fetching Y and Z").
+"""
+
+from repro.dataio.schema import (
+    ColumnKind,
+    DenseFeature,
+    SparseFeature,
+    LabelColumn,
+    TableSchema,
+)
+from repro.dataio.encoding import (
+    Encoding,
+    encode_column,
+    decode_column,
+    encoded_size,
+)
+from repro.dataio.columnar import (
+    ColumnarFileWriter,
+    ColumnarFileReader,
+    ColumnChunk,
+    FileFooter,
+    write_table,
+    read_columns,
+)
+from repro.dataio.partition import RowPartitioner, Partition
+
+__all__ = [
+    "ColumnKind",
+    "DenseFeature",
+    "SparseFeature",
+    "LabelColumn",
+    "TableSchema",
+    "Encoding",
+    "encode_column",
+    "decode_column",
+    "encoded_size",
+    "ColumnarFileWriter",
+    "ColumnarFileReader",
+    "ColumnChunk",
+    "FileFooter",
+    "write_table",
+    "read_columns",
+    "RowPartitioner",
+    "Partition",
+]

@@ -1,0 +1,185 @@
+"""Row-oriented file format — the strawman Section II-B argues against.
+
+The paper motivates columnar storage by the *overfetch* problem: with a
+row-oriented layout, extracting features X and W for all users "inevitably
+leads to (unwanted) features Y and Z to be retrieved, wasting data read
+bandwidth".  This module implements that layout for real, so the
+columnar-vs-row ablation (``repro.experiments.abl_row_vs_columnar``) can
+measure the waste instead of asserting it.
+
+Layout::
+
+    [magic][record 0][record 1]...[footer: schema + row count + offsets head]
+
+Each record serializes one row: label byte, dense float32s, then per sparse
+column a varint length + varint-encoded ids.  Reading *any* column requires
+scanning every record (there is no per-column index by construction).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataio.columnar import TableData
+from repro.dataio.encoding import read_uvarint, write_uvarint
+from repro.dataio.schema import ColumnKind, TableSchema
+from repro.errors import FormatError, SchemaError
+
+ROW_MAGIC = b"PRSTR\n"
+_FOOTER_LEN = struct.Struct("<I")
+_F32 = struct.Struct("<f")
+
+
+class RowFileWriter:
+    """Serialize a table row by row (the pre-columnar layout)."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+
+    def write(self, data: TableData) -> bytes:
+        """Serialize all rows; returns the file bytes."""
+        label = data.get(self.schema.label.name)
+        if label is None:
+            raise SchemaError(f"missing label column {self.schema.label.name!r}")
+        num_rows = len(label)
+
+        dense_columns = []
+        for column in self.schema.dense:
+            if column.name not in data:
+                raise SchemaError(f"missing dense column {column.name!r}")
+            values = np.asarray(data[column.name], dtype=np.float32)
+            column.validate_values(values, num_rows)
+            dense_columns.append(values)
+
+        sparse_columns: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for column in self.schema.sparse:
+            if column.name not in data:
+                raise SchemaError(f"missing sparse column {column.name!r}")
+            lengths, values = data[column.name]
+            column.validate_values(lengths, values, num_rows)
+            offsets = np.concatenate(([0], np.cumsum(lengths)))
+            sparse_columns.append((np.asarray(lengths), np.asarray(values), offsets))
+
+        body = bytearray(ROW_MAGIC)
+        for row in range(num_rows):
+            body.append(int(label[row]) & 0xFF)
+            for values in dense_columns:
+                value = values[row]
+                body += _F32.pack(0.0 if np.isnan(value) else float(value))
+                body.append(1 if np.isnan(value) else 0)  # null marker
+            for lengths, values, offsets in sparse_columns:
+                row_ids = values[offsets[row] : offsets[row + 1]]
+                write_uvarint(len(row_ids), body)
+                for raw_id in row_ids.tolist():
+                    write_uvarint(int(raw_id) & (2**64 - 1), body)
+
+        footer = json.dumps(
+            {
+                "dense": self.schema.dense_names,
+                "sparse": self.schema.sparse_names,
+                "label": self.schema.label.name,
+                "num_rows": num_rows,
+            },
+            separators=(",", ":"),
+        ).encode()
+        body += footer
+        body += _FOOTER_LEN.pack(len(footer))
+        body += ROW_MAGIC
+        return bytes(body)
+
+
+class RowFileReader:
+    """Scan-based reader over the row layout.
+
+    ``bytes_scanned`` counts every byte the reader had to touch; for any
+    column subset it equals (almost) the whole file — the overfetch the
+    paper's columnar layout eliminates.
+    """
+
+    def __init__(self, buffer: bytes) -> None:
+        self._buf = buffer
+        self.bytes_scanned = 0
+        min_size = 2 * len(ROW_MAGIC) + _FOOTER_LEN.size
+        if len(buffer) < min_size or buffer[: len(ROW_MAGIC)] != ROW_MAGIC:
+            raise FormatError("not a row-format file")
+        if buffer[-len(ROW_MAGIC) :] != ROW_MAGIC:
+            raise FormatError("truncated row-format file")
+        (footer_len,) = _FOOTER_LEN.unpack(
+            buffer[-len(ROW_MAGIC) - _FOOTER_LEN.size : -len(ROW_MAGIC)]
+        )
+        footer_end = len(buffer) - len(ROW_MAGIC) - _FOOTER_LEN.size
+        try:
+            meta = json.loads(buffer[footer_end - footer_len : footer_end].decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise FormatError(f"unparseable row-format footer: {exc}") from exc
+        self.dense_names: List[str] = meta["dense"]
+        self.sparse_names: List[str] = meta["sparse"]
+        self.label_name: str = meta["label"]
+        self.num_rows: int = meta["num_rows"]
+        self._body_end = footer_end - footer_len
+
+    def read_columns(self, names: Iterable[str]) -> TableData:
+        """Extract the requested columns — by scanning every record."""
+        wanted = set(names)
+        unknown = wanted - set(
+            self.dense_names + self.sparse_names + [self.label_name]
+        )
+        if unknown:
+            raise FormatError(f"unknown columns {sorted(unknown)}")
+
+        labels = np.empty(self.num_rows, dtype=np.int8)
+        dense: Dict[str, np.ndarray] = {
+            name: np.empty(self.num_rows, dtype=np.float32)
+            for name in self.dense_names
+            if name in wanted
+        }
+        sparse_lengths: Dict[str, List[int]] = {
+            name: [] for name in self.sparse_names if name in wanted
+        }
+        sparse_values: Dict[str, List[int]] = {
+            name: [] for name in self.sparse_names if name in wanted
+        }
+
+        offset = len(ROW_MAGIC)
+        for row in range(self.num_rows):
+            labels[row] = self._buf[offset]
+            offset += 1
+            for name in self.dense_names:
+                (value,) = _F32.unpack_from(self._buf, offset)
+                is_null = self._buf[offset + _F32.size]
+                offset += _F32.size + 1
+                if name in dense:
+                    dense[name][row] = np.nan if is_null else value
+            for name in self.sparse_names:
+                count, offset = read_uvarint(self._buf, offset)
+                ids: List[int] = []
+                for _ in range(count):
+                    raw, offset = read_uvarint(self._buf, offset)
+                    ids.append(raw)
+                if name in sparse_lengths:
+                    sparse_lengths[name].append(count)
+                    sparse_values[name].extend(ids)
+        if offset != self._body_end:
+            raise FormatError("row records do not align with the footer")
+        # scanning touched the entire record body regardless of selection
+        self.bytes_scanned += self._body_end - len(ROW_MAGIC)
+
+        out: TableData = {}
+        if self.label_name in wanted:
+            out[self.label_name] = labels
+        out.update(dense)
+        for name in sparse_lengths:
+            out[name] = (
+                np.array(sparse_lengths[name], dtype=np.int32),
+                np.array(sparse_values[name], dtype=np.int64),
+            )
+        return out
+
+
+def write_row_table(schema: TableSchema, data: TableData) -> bytes:
+    """Convenience wrapper around :class:`RowFileWriter`."""
+    return RowFileWriter(schema).write(data)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the PreSto reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause while tests
+can still assert the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or a column does not match its schema."""
+
+
+class EncodingError(ReproError):
+    """A column chunk cannot be encoded or decoded (bad codec, corruption)."""
+
+
+class FormatError(ReproError):
+    """A columnar file is structurally invalid (magic, footer, checksums)."""
+
+
+class PartitionError(ReproError):
+    """Row partitioning parameters are inconsistent with the table."""
+
+
+class OpError(ReproError):
+    """A preprocessing operator received invalid inputs or parameters."""
+
+
+class PipelineError(ReproError):
+    """A preprocessing pipeline is malformed (unknown feature, bad order)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. negative delay)."""
+
+
+class CapacityError(ReproError):
+    """A hardware resource model was configured beyond its capacity."""
+
+
+class ProvisioningError(ReproError):
+    """Worker provisioning (the T/P computation) received invalid inputs."""
+
+
+class ConfigurationError(ReproError):
+    """A system/experiment configuration is internally inconsistent."""

@@ -1,0 +1,53 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes ``run() -> <Result>`` returning a structured result with
+``rows()`` (the same series the paper plots) and ``render()`` (a text table).
+:mod:`repro.experiments.report` runs everything and produces the full
+paper-vs-measured report used by EXPERIMENTS.md.
+"""
+
+from repro.experiments import (
+    abl_batch_size,
+    abl_double_buffering,
+    abl_lane_sweep,
+    abl_multijob,
+    abl_network_contention,
+    abl_network_sweep,
+    abl_row_vs_columnar,
+    fig3_colocated,
+    fig4_cores_required,
+    fig5_breakdown,
+    fig6_utilization,
+    table1_models,
+    table2_resources,
+    fig11_throughput,
+    fig12_latency,
+    fig13_network,
+    fig14_provisioning,
+    fig15_efficiency,
+    fig16_alternatives,
+    fig17_sensitivity,
+)
+
+__all__ = [
+    "abl_batch_size",
+    "abl_double_buffering",
+    "abl_lane_sweep",
+    "abl_multijob",
+    "abl_network_contention",
+    "abl_network_sweep",
+    "abl_row_vs_columnar",
+    "fig3_colocated",
+    "fig4_cores_required",
+    "fig5_breakdown",
+    "fig6_utilization",
+    "table1_models",
+    "table2_resources",
+    "fig11_throughput",
+    "fig12_latency",
+    "fig13_network",
+    "fig14_provisioning",
+    "fig15_efficiency",
+    "fig16_alternatives",
+    "fig17_sensitivity",
+]

@@ -1,0 +1,80 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.features.specs import MODEL_NAMES, ModelSpec, all_models
+from repro.hardware.calibration import CALIBRATION, Calibration
+
+
+def models() -> List[ModelSpec]:
+    """The five Table I models in evaluation order."""
+    return all_models()
+
+
+def model_names() -> List[str]:
+    """RM1..RM5."""
+    return list(MODEL_NAMES)
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One quantitative claim from the paper, for paper-vs-measured rows."""
+
+    description: str
+    paper_value: float
+    measured_value: float
+    tolerance: float = 0.35  # relative tolerance for "shape holds"
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - paper| / paper."""
+        if self.paper_value == 0:
+            return abs(self.measured_value)
+        return abs(self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def holds(self) -> bool:
+        """Whether the measured value is within tolerance of the paper's."""
+        return self.relative_error <= self.tolerance
+
+    def render(self) -> str:
+        status = "OK " if self.holds else "OFF"
+        return (
+            f"  [{status}] {self.description}: paper {self.paper_value:g}, "
+            f"measured {self.measured_value:.3g} "
+            f"(err {100 * self.relative_error:.0f}%)"
+        )
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table (the harness's 'figure')."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)

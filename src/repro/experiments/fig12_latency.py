@@ -1,0 +1,102 @@
+"""Figure 12 — single-worker latency breakdown and PreSto speedup.
+
+For every model: the per-step latency of one Disagg CPU worker and one
+PreSto SmartSSD worker (each normalized to Disagg's total), plus PreSto's
+end-to-end speedup.
+
+Paper claims: 9.6x average / 11.6x maximum speedup; PreSto's Extract step
+(P2P transfer + decoding, less parallelizable) averages ~40.8% of its time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.cpu_worker import CpuPreprocessingWorker
+from repro.core.isp_worker import IspPreprocessingWorker
+from repro.core.worker import BREAKDOWN_STEPS
+from repro.experiments.common import PaperClaim, format_table, models
+from repro.hardware.calibration import CALIBRATION, Calibration
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    """Breakdowns (seconds) for both designs per model."""
+
+    disagg: Dict[str, Dict[str, float]]
+    presto: Dict[str, Dict[str, float]]
+
+    def speedup(self, model: str) -> float:
+        """Disagg total / PreSto total for one model."""
+        return sum(self.disagg[model].values()) / sum(self.presto[model].values())
+
+    @property
+    def mean_speedup(self) -> float:
+        """Average across models (paper: 9.6)."""
+        values = [self.speedup(m) for m in self.disagg]
+        return sum(values) / len(values)
+
+    @property
+    def max_speedup(self) -> float:
+        """Best case (paper: 11.6)."""
+        return max(self.speedup(m) for m in self.disagg)
+
+    def presto_extract_share(self, model: str) -> float:
+        """Extract fraction of PreSto's time (paper average: 0.408)."""
+        steps = self.presto[model]
+        total = sum(steps.values())
+        extract = steps["extract_read"] + steps["extract_decode"]
+        return extract / total
+
+    @property
+    def mean_extract_share(self) -> float:
+        values = [self.presto_extract_share(m) for m in self.presto]
+        return sum(values) / len(values)
+
+    def claims(self) -> List[PaperClaim]:
+        return [
+            PaperClaim("mean end-to-end speedup", 9.6, self.mean_speedup, 0.15),
+            PaperClaim("max end-to-end speedup", 11.6, self.max_speedup, 0.15),
+            PaperClaim("mean PreSto Extract share", 0.408, self.mean_extract_share, 0.20),
+        ]
+
+    def rows(self) -> List[Tuple]:
+        out = []
+        for model in self.disagg:
+            disagg_total = sum(self.disagg[model].values())
+            for design, steps in (("Disagg", self.disagg[model]), ("PreSto", self.presto[model])):
+                normalized = [steps[s] / disagg_total for s in BREAKDOWN_STEPS]
+                out.append((model, design, *normalized, sum(normalized)))
+        return out
+
+    def render(self) -> str:
+        table = format_table(
+            ["model", "design"] + list(BREAKDOWN_STEPS) + ["total"],
+            self.rows(),
+            title="Figure 12: latency breakdown normalized to Disagg total",
+        )
+        speeds = format_table(
+            ["model", "speedup (x)"],
+            [(m, self.speedup(m)) for m in self.disagg],
+            title="PreSto end-to-end speedup",
+        )
+        return (
+            table
+            + "\n"
+            + speeds
+            + "\n"
+            + "\n".join(c.render() for c in self.claims())
+        )
+
+
+def run(calibration: Calibration = CALIBRATION) -> Fig12Result:
+    """Regenerate Figure 12."""
+    disagg: Dict[str, Dict[str, float]] = {}
+    presto: Dict[str, Dict[str, float]] = {}
+    for spec in models():
+        disagg[spec.name] = CpuPreprocessingWorker(spec, calibration).batch_breakdown()
+        presto[spec.name] = IspPreprocessingWorker(
+            spec, calibration=calibration
+        ).batch_breakdown()
+    return Fig12Result(disagg=disagg, presto=presto)

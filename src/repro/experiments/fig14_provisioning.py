@@ -1,0 +1,102 @@
+"""Figure 14 — ISP units vs CPU cores to sustain an 8xA100 node.
+
+For every model: how many PreSto SmartSSDs and how many disaggregated CPU
+cores close the preprocessing/training gap.
+
+Paper claims: at most 9 ISP units (225 W worst case at 25 W/card) vs up to
+367 cores (12 CPU server nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.systems import DisaggCpuSystem, PreStoSystem
+from repro.experiments.common import PaperClaim, format_table, models
+from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.hardware.power import PowerModel
+
+NUM_GPUS = 8
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """Provisioned resources per model."""
+
+    isp_units: Dict[str, int]
+    cpu_cores: Dict[str, int]
+    cpu_nodes: Dict[str, int]
+    worst_case_isp_power: Dict[str, float]
+
+    @property
+    def max_units(self) -> int:
+        """Largest ISP allocation (paper: 9)."""
+        return max(self.isp_units.values())
+
+    @property
+    def max_cores(self) -> int:
+        """Largest CPU allocation (paper: 367)."""
+        return max(self.cpu_cores.values())
+
+    def claims(self) -> List[PaperClaim]:
+        return [
+            PaperClaim("max ISP units", 9, self.max_units, 0.15),
+            PaperClaim("max CPU cores", 367, self.max_cores, 0.10),
+            PaperClaim(
+                "worst-case ISP power at max units (W)",
+                225.0,
+                max(self.worst_case_isp_power.values()),
+                0.15,
+            ),
+            PaperClaim(
+                "CPU nodes at max cores",
+                12,
+                max(self.cpu_nodes.values()),
+                0.10,
+            ),
+        ]
+
+    def rows(self) -> List[Tuple]:
+        return [
+            (
+                model,
+                self.isp_units[model],
+                self.cpu_cores[model],
+                self.cpu_nodes[model],
+                self.worst_case_isp_power[model],
+            )
+            for model in self.isp_units
+        ]
+
+    def render(self) -> str:
+        table = format_table(
+            ["model", "ISP units", "CPU cores", "CPU nodes", "ISP worst-case W"],
+            self.rows(),
+            title="Figure 14: resources to sustain an 8xA100 training node",
+        )
+        return table + "\n" + "\n".join(c.render() for c in self.claims())
+
+
+def run(calibration: Calibration = CALIBRATION) -> Fig14Result:
+    """Regenerate Figure 14."""
+    power = PowerModel(calibration)
+    units: Dict[str, int] = {}
+    cores: Dict[str, int] = {}
+    nodes: Dict[str, int] = {}
+    isp_power: Dict[str, float] = {}
+    for spec in models():
+        presto_plan = PreStoSystem(spec, calibration).provision_for(NUM_GPUS)
+        cpu_plan = DisaggCpuSystem(spec, calibration).provision_for(NUM_GPUS)
+        units[spec.name] = presto_plan.num_workers
+        cores[spec.name] = cpu_plan.num_workers
+        nodes[spec.name] = power.disagg_cpu_nodes(cpu_plan.num_workers)
+        isp_power[spec.name] = power.presto_power(
+            presto_plan.num_workers, worst_case=True
+        )
+    return Fig14Result(
+        isp_units=units,
+        cpu_cores=cores,
+        cpu_nodes=nodes,
+        worst_case_isp_power=isp_power,
+    )

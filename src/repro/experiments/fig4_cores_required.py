@@ -1,0 +1,76 @@
+"""Figure 4 — CPU cores required to feed an 8xA100 training node.
+
+For each Table I model, provisions the disaggregated CPU system against the
+node-level training demand (8 x T) and reports ceil(8T/P).
+
+Paper claim: several hundred cores for the production-scale models, 367 for
+RM5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.systems import DisaggCpuSystem
+from repro.experiments.common import PaperClaim, format_table, models
+from repro.hardware.calibration import CALIBRATION, Calibration
+
+NUM_GPUS = 8
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Cores required per model."""
+
+    cores: Dict[str, int]
+    training_demand: Dict[str, float]
+    worker_throughput: Dict[str, float]
+
+    @property
+    def max_cores(self) -> int:
+        """Largest requirement across models (paper: 367, on RM5)."""
+        return max(self.cores.values())
+
+    def claims(self) -> List[PaperClaim]:
+        return [
+            PaperClaim("RM5 cores for 8xA100", 367, self.cores["RM5"], 0.10),
+            PaperClaim(
+                "production models need hundreds of cores (min RM2-5)",
+                300,
+                min(self.cores[m] for m in ("RM2", "RM3", "RM4", "RM5")),
+            ),
+        ]
+
+    def rows(self) -> List[Tuple[str, int, float, float]]:
+        return [
+            (
+                name,
+                self.cores[name],
+                self.training_demand[name],
+                self.worker_throughput[name],
+            )
+            for name in self.cores
+        ]
+
+    def render(self) -> str:
+        table = format_table(
+            ["model", "cores", "8-GPU demand (samples/s)", "per-core P (samples/s)"],
+            self.rows(),
+            title="Figure 4: CPU cores required per 8xA100 node",
+        )
+        return table + "\n" + "\n".join(c.render() for c in self.claims())
+
+
+def run(calibration: Calibration = CALIBRATION) -> Fig4Result:
+    """Regenerate Figure 4."""
+    cores: Dict[str, int] = {}
+    demand: Dict[str, float] = {}
+    per_core: Dict[str, float] = {}
+    for spec in models():
+        system = DisaggCpuSystem(spec, calibration)
+        plan = system.provision_for(NUM_GPUS)
+        cores[spec.name] = plan.num_workers
+        demand[spec.name] = plan.training_throughput
+        per_core[spec.name] = plan.worker_throughput
+    return Fig4Result(cores=cores, training_demand=demand, worker_throughput=per_core)

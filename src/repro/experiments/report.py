@@ -1,0 +1,108 @@
+"""Full paper-vs-measured report: run every experiment, render every table,
+and summarize which claims hold.  ``python -m repro.experiments.report``
+prints the whole thing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import (
+    abl_batch_size,
+    abl_double_buffering,
+    abl_lane_sweep,
+    abl_multijob,
+    abl_network_contention,
+    abl_network_sweep,
+    abl_row_vs_columnar,
+    fig3_colocated,
+    fig4_cores_required,
+    fig5_breakdown,
+    fig6_utilization,
+    fig11_throughput,
+    fig12_latency,
+    fig13_network,
+    fig14_provisioning,
+    fig15_efficiency,
+    fig16_alternatives,
+    fig17_sensitivity,
+    table1_models,
+    table2_resources,
+)
+from repro.experiments.common import PaperClaim
+
+#: experiment id -> runner, in paper order
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "Figure 3": fig3_colocated.run,
+    "Figure 4": fig4_cores_required.run,
+    "Figure 5": fig5_breakdown.run,
+    "Figure 6": fig6_utilization.run,
+    "Table I": table1_models.run,
+    "Table II": table2_resources.run,
+    "Figure 11": fig11_throughput.run,
+    "Figure 12": fig12_latency.run,
+    "Figure 13": fig13_network.run,
+    "Figure 14": fig14_provisioning.run,
+    "Figure 15": fig15_efficiency.run,
+    "Figure 16": fig16_alternatives.run,
+    "Figure 17": fig17_sensitivity.run,
+}
+
+#: ablations and sensitivity studies beyond the paper's figures
+ABLATIONS: Dict[str, Callable[[], object]] = {
+    "Ablation: row vs columnar": abl_row_vs_columnar.run,
+    "Ablation: double buffering": abl_double_buffering.run,
+    "Ablation: unit lane sweep": abl_lane_sweep.run,
+    "Sensitivity: link speed": abl_network_sweep.run,
+    "Fleet: network contention": abl_network_contention.run,
+    "Sensitivity: batch size": abl_batch_size.run,
+    "Fleet: multi-job scheduling": abl_multijob.run,
+}
+
+
+def run_all(include_ablations: bool = True) -> Dict[str, object]:
+    """Run every experiment (and, by default, every ablation)."""
+    results = {name: runner() for name, runner in EXPERIMENTS.items()}
+    if include_ablations:
+        results.update({name: runner() for name, runner in ABLATIONS.items()})
+    return results
+
+
+def collect_claims(results: Dict[str, object]) -> List[Tuple[str, PaperClaim]]:
+    """All paper claims with their measured values."""
+    claims: List[Tuple[str, PaperClaim]] = []
+    for name, result in results.items():
+        getter = getattr(result, "claims", None)
+        if getter is not None:
+            claims.extend((name, claim) for claim in getter())
+    return claims
+
+
+def render_report(results: Dict[str, object] = None) -> str:
+    """The full text report (every table + the claims scoreboard)."""
+    if results is None:
+        results = run_all()
+    sections = []
+    for name, result in results.items():
+        sections.append("=" * 78)
+        sections.append(name)
+        sections.append("=" * 78)
+        sections.append(result.render())
+        sections.append("")
+    claims = collect_claims(results)
+    holding = sum(1 for _, c in claims if c.holds)
+    sections.append("=" * 78)
+    sections.append(f"CLAIMS SCOREBOARD: {holding}/{len(claims)} within tolerance")
+    sections.append("=" * 78)
+    for name, claim in claims:
+        sections.append(f"{name}: {claim.render().strip()}")
+    return "\n".join(sections)
+
+
+def main() -> None:
+    """CLI entry point."""
+    print(render_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,342 @@
+"""Data generation and ingestion — the first stage of Figure 1.
+
+Before any preprocessing, the paper's pipeline has inference servers logging
+end-user interactions through a logging engine (Meta's Scribe), and
+streaming/batch engines (Spark) that *label* and *filter* those events
+before they land in the data warehouse as raw feature tables.  This module
+implements that upstream path functionally:
+
+* :class:`InteractionEvent` — one logged (user, item, features) interaction;
+* :class:`LoggingEngine` — an append-only, category-partitioned event log
+  with bounded buffering (Scribe's role);
+* :class:`StreamingLabeler` — joins impression events with later click
+  events inside an attribution window to produce the binary label
+  (the "label" work Figure 1 assigns to the streaming/batch engine);
+* :class:`EventFilter` — drops bot/malformed events (the "filter" work);
+* :class:`Warehouse` — batches labeled events of one model's schema into
+  the raw :data:`TableData` the preprocessing pipeline consumes.
+
+The synthetic generators in :mod:`repro.features.synthetic` shortcut this
+path for speed; integration tests run the full path on small volumes and
+check the warehouse output is schema-valid and preprocessable.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataio.columnar import TableData
+from repro.errors import CapacityError, ConfigurationError
+from repro.features.specs import ModelSpec
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """One logged end-user interaction with the inference service."""
+
+    event_id: int
+    user_id: int
+    timestamp: float
+    kind: str  # "impression" or "click"
+    dense: Tuple[float, ...] = ()
+    sparse: Tuple[Tuple[int, ...], ...] = ()
+
+    def is_impression(self) -> bool:
+        return self.kind == "impression"
+
+    def is_click(self) -> bool:
+        return self.kind == "click"
+
+
+class LoggingEngine:
+    """Append-only buffered event log, one category per event kind.
+
+    Mirrors Scribe's role: producers append, consumers drain per category in
+    arrival order.  The buffer is bounded; overflowing it raises (real
+    deployments shed load — the error surfaces the condition instead).
+    """
+
+    def __init__(self, buffer_capacity: int = 1_000_000) -> None:
+        if buffer_capacity <= 0:
+            raise ConfigurationError("buffer_capacity must be positive")
+        self.buffer_capacity = buffer_capacity
+        self._categories: Dict[str, Deque[InteractionEvent]] = collections.defaultdict(
+            collections.deque
+        )
+        self.total_logged = 0
+        self.total_drained = 0
+
+    def log(self, event: InteractionEvent) -> None:
+        """Append one event to its category."""
+        if self.buffered >= self.buffer_capacity:
+            raise CapacityError("logging engine buffer overflow")
+        self._categories[event.kind].append(event)
+        self.total_logged += 1
+
+    def log_many(self, events: Iterable[InteractionEvent]) -> None:
+        """Append a batch of events."""
+        for event in events:
+            self.log(event)
+
+    def drain(self, kind: str, limit: Optional[int] = None) -> List[InteractionEvent]:
+        """Remove and return up to ``limit`` events of one category."""
+        queue = self._categories.get(kind)
+        if not queue:
+            return []
+        count = len(queue) if limit is None else min(limit, len(queue))
+        out = [queue.popleft() for _ in range(count)]
+        self.total_drained += count
+        return out
+
+    @property
+    def buffered(self) -> int:
+        """Events currently held across all categories."""
+        return sum(len(q) for q in self._categories.values())
+
+
+class EventFilter:
+    """Drops bot traffic and malformed events (the 'filter' stage)."""
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        is_bot: Optional[Callable[[InteractionEvent], bool]] = None,
+    ) -> None:
+        self.spec = spec
+        self.is_bot = is_bot or (lambda event: False)
+        self.dropped_malformed = 0
+        self.dropped_bots = 0
+
+    def _well_formed(self, event: InteractionEvent) -> bool:
+        if len(event.dense) != self.spec.num_dense:
+            return False
+        if len(event.sparse) != self.spec.num_sparse:
+            return False
+        return all(
+            all(raw_id >= 0 for raw_id in feature) for feature in event.sparse
+        )
+
+    def apply(self, events: Iterable[InteractionEvent]) -> List[InteractionEvent]:
+        """Return the events that survive filtering."""
+        kept = []
+        for event in events:
+            if not self._well_formed(event):
+                self.dropped_malformed += 1
+            elif self.is_bot(event):
+                self.dropped_bots += 1
+            else:
+                kept.append(event)
+        return kept
+
+
+@dataclass
+class LabeledExample:
+    """One impression joined with its click outcome."""
+
+    event: InteractionEvent
+    label: int
+
+
+class StreamingLabeler:
+    """Click attribution: label impressions by later clicks from the same
+    user within an attribution window (the 'label' stage)."""
+
+    def __init__(self, attribution_window: float = 3600.0) -> None:
+        if attribution_window <= 0:
+            raise ConfigurationError("attribution_window must be positive")
+        self.attribution_window = attribution_window
+
+    def label(
+        self,
+        impressions: Iterable[InteractionEvent],
+        clicks: Iterable[InteractionEvent],
+    ) -> List[LabeledExample]:
+        """Join impressions with clicks; label 1 iff a click by the same
+        user falls in ``(t_impression, t_impression + window]``."""
+        clicks_by_user: Dict[int, List[float]] = collections.defaultdict(list)
+        for click in clicks:
+            if not click.is_click():
+                raise ConfigurationError(f"event {click.event_id} is not a click")
+            clicks_by_user[click.user_id].append(click.timestamp)
+        for times in clicks_by_user.values():
+            times.sort()
+
+        labeled = []
+        for impression in impressions:
+            if not impression.is_impression():
+                raise ConfigurationError(
+                    f"event {impression.event_id} is not an impression"
+                )
+            times = clicks_by_user.get(impression.user_id, ())
+            start = impression.timestamp
+            stop = start + self.attribution_window
+            clicked = any(start < t <= stop for t in times)
+            labeled.append(LabeledExample(event=impression, label=int(clicked)))
+        return labeled
+
+
+class Warehouse:
+    """Accumulates labeled examples and emits raw feature tables.
+
+    The warehouse is the hand-off point of Figure 1: downstream, these
+    tables are partitioned into columnar files and placed on the
+    (Smart)SSDs of the distributed storage system.
+    """
+
+    def __init__(self, spec: ModelSpec) -> None:
+        self.spec = spec
+        self.schema = spec.schema()
+        self._examples: List[LabeledExample] = []
+
+    def ingest(self, examples: Iterable[LabeledExample]) -> None:
+        """Append labeled examples (already filtered)."""
+        self._examples.extend(examples)
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def to_table(self, max_rows: Optional[int] = None) -> TableData:
+        """Materialize (and consume) up to ``max_rows`` examples as a raw
+        table matching the model's schema."""
+        if not self._examples:
+            raise ConfigurationError("warehouse is empty")
+        count = len(self._examples) if max_rows is None else min(max_rows, len(self._examples))
+        rows, self._examples = self._examples[:count], self._examples[count:]
+
+        data: TableData = {
+            self.schema.label.name: np.array(
+                [example.label for example in rows], dtype=np.int8
+            )
+        }
+        for column_index, column in enumerate(self.schema.dense):
+            data[column.name] = np.array(
+                [example.event.dense[column_index] for example in rows],
+                dtype=np.float32,
+            )
+        for column_index, column in enumerate(self.schema.sparse):
+            lengths = np.array(
+                [len(example.event.sparse[column_index]) for example in rows],
+                dtype=np.int32,
+            )
+            flat: List[int] = []
+            for example in rows:
+                flat.extend(example.event.sparse[column_index])
+            data[column.name] = (lengths, np.array(flat, dtype=np.int64))
+        return data
+
+
+class InferenceServerSimulator:
+    """Generates a plausible event stream for the full ingestion path.
+
+    Each simulated user sees impressions and clicks on some of them within
+    the attribution window; a configurable fraction of the traffic is bot
+    noise the filter must drop.
+    """
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        seed: int = 0,
+        ctr: float = 0.1,
+        bot_fraction: float = 0.05,
+    ) -> None:
+        if not 0 <= bot_fraction < 1:
+            raise ConfigurationError("bot_fraction must be in [0, 1)")
+        self.spec = spec
+        self.ctr = ctr
+        self.bot_fraction = bot_fraction
+        self._rng = np.random.default_rng(seed)
+        self._next_event_id = 0
+
+    def _event_id(self) -> int:
+        self._next_event_id += 1
+        return self._next_event_id
+
+    def _features(self) -> Tuple[Tuple[float, ...], Tuple[Tuple[int, ...], ...]]:
+        rng = self._rng
+        dense = tuple(
+            float(v) for v in np.floor(rng.lognormal(1.5, 1.2, self.spec.num_dense))
+        )
+        sparse = []
+        for _ in range(self.spec.num_sparse):
+            length = max(int(rng.poisson(self.spec.avg_sparse_length)), 0)
+            sparse.append(tuple(int(v) for v in rng.integers(0, 2**40, length)))
+        return dense, tuple(sparse)
+
+    def generate(
+        self, num_impressions: int
+    ) -> Tuple[List[InteractionEvent], List[InteractionEvent]]:
+        """Return (impressions, clicks); bots emit impressions with
+        user_id < 0 so a simple predicate can identify them."""
+        if num_impressions <= 0:
+            raise ConfigurationError("num_impressions must be positive")
+        impressions: List[InteractionEvent] = []
+        clicks: List[InteractionEvent] = []
+        for i in range(num_impressions):
+            is_bot = self._rng.random() < self.bot_fraction
+            user = -int(self._rng.integers(1, 1000)) if is_bot else int(
+                self._rng.integers(0, 10_000)
+            )
+            timestamp = float(i)
+            dense, sparse = self._features()
+            impressions.append(
+                InteractionEvent(
+                    event_id=self._event_id(),
+                    user_id=user,
+                    timestamp=timestamp,
+                    kind="impression",
+                    dense=dense,
+                    sparse=sparse,
+                )
+            )
+            if not is_bot and self._rng.random() < self.ctr:
+                clicks.append(
+                    InteractionEvent(
+                        event_id=self._event_id(),
+                        user_id=user,
+                        timestamp=timestamp + float(self._rng.uniform(1.0, 600.0)),
+                        kind="click",
+                    )
+                )
+        return impressions, clicks
+
+
+def run_ingestion(
+    spec: ModelSpec,
+    num_impressions: int,
+    seed: int = 0,
+    attribution_window: float = 3600.0,
+) -> Tuple[TableData, Dict[str, int]]:
+    """End-to-end Figure 1 data-generation stage: simulate inference
+    traffic, log it, filter it, label it, and land it in the warehouse.
+
+    Returns the raw table plus ingestion statistics.
+    """
+    simulator = InferenceServerSimulator(spec, seed=seed)
+    impressions, clicks = simulator.generate(num_impressions)
+
+    log = LoggingEngine()
+    log.log_many(impressions)
+    log.log_many(clicks)
+
+    event_filter = EventFilter(spec, is_bot=lambda e: e.user_id < 0)
+    surviving = event_filter.apply(log.drain("impression"))
+    labeler = StreamingLabeler(attribution_window=attribution_window)
+    labeled = labeler.label(surviving, log.drain("click"))
+
+    warehouse = Warehouse(spec)
+    warehouse.ingest(labeled)
+    table = warehouse.to_table()
+    stats = {
+        "impressions": len(impressions),
+        "clicks": len(clicks),
+        "dropped_bots": event_filter.dropped_bots,
+        "dropped_malformed": event_filter.dropped_malformed,
+        "rows": len(table[spec.schema().label.name]),
+        "positives": int(table[spec.schema().label.name].sum()),
+    }
+    return table, stats

@@ -1,0 +1,144 @@
+"""Train-ready tensor containers.
+
+The Transform phase's output (step 3 in Figure 1) is a mini-batch in the
+format TorchRec consumes: a dense float32 matrix, a label vector, and a
+*KeyedJaggedTensor* holding every sparse feature's embedding indices as
+(lengths, values) jagged arrays keyed by feature name.
+
+These containers are plain numpy so they double as the reproduction's
+"tensors"; their byte sizes drive the Load-stage and RPC cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+
+
+@dataclass
+class KeyedJaggedTensor:
+    """Jagged sparse features keyed by name (TorchRec KJT equivalent).
+
+    ``lengths`` is shaped ``(num_keys, batch)`` (row f holds feature f's
+    per-sample list lengths); ``values`` is the flat concatenation of all
+    features' ids, feature-major.
+    """
+
+    keys: List[str]
+    lengths: np.ndarray  # int32, shape (num_keys, batch)
+    values: np.ndarray  # int64, flat
+
+    def __post_init__(self) -> None:
+        self.lengths = np.asarray(self.lengths, dtype=np.int32)
+        self.values = np.asarray(self.values, dtype=np.int64)
+        if self.lengths.ndim != 2:
+            raise FormatError("KJT lengths must be 2-D (num_keys, batch)")
+        if len(self.keys) != self.lengths.shape[0]:
+            raise FormatError(
+                f"KJT has {len(self.keys)} keys but lengths for "
+                f"{self.lengths.shape[0]}"
+            )
+        if int(self.lengths.sum()) != len(self.values):
+            raise FormatError("KJT lengths do not sum to len(values)")
+        if np.any(self.lengths < 0):
+            raise FormatError("KJT lengths must be non-negative")
+
+    @classmethod
+    def from_dict(
+        cls, jagged: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    ) -> "KeyedJaggedTensor":
+        """Build from {key: (lengths, values)} preserving insertion order."""
+        keys = list(jagged)
+        if not keys:
+            raise FormatError("KJT needs at least one key")
+        batch_sizes = {len(jagged[k][0]) for k in keys}
+        if len(batch_sizes) != 1:
+            raise FormatError(f"inconsistent batch sizes across keys: {batch_sizes}")
+        lengths = np.stack([np.asarray(jagged[k][0], dtype=np.int32) for k in keys])
+        values = (
+            np.concatenate([np.asarray(jagged[k][1], dtype=np.int64) for k in keys])
+            if any(len(jagged[k][1]) for k in keys)
+            else np.empty(0, dtype=np.int64)
+        )
+        return cls(keys=keys, lengths=lengths, values=values)
+
+    @property
+    def batch_size(self) -> int:
+        """Samples per key."""
+        return self.lengths.shape[1]
+
+    @property
+    def num_keys(self) -> int:
+        """Number of sparse features."""
+        return len(self.keys)
+
+    def offsets_for(self, key: str) -> Tuple[int, int]:
+        """(start, stop) of ``key``'s slice inside the flat values array."""
+        if key not in self.keys:
+            raise FormatError(f"unknown KJT key {key!r}")
+        index = self.keys.index(key)
+        per_key = self.lengths.sum(axis=1)
+        start = int(per_key[:index].sum())
+        return start, start + int(per_key[index])
+
+    def jagged_for(self, key: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (lengths, values) of one feature."""
+        start, stop = self.offsets_for(key)
+        index = self.keys.index(key)
+        return self.lengths[index], self.values[start:stop]
+
+    def nbytes(self) -> int:
+        """Payload bytes: int32 lengths + int32 values (indices fit 32 bits
+        after SigridHash limits them to the embedding-table size)."""
+        return self.lengths.size * 4 + self.values.size * 4
+
+
+@dataclass
+class MiniBatch:
+    """One train-ready mini-batch: what the Load phase ships to the GPU."""
+
+    dense: np.ndarray  # float32, shape (batch, num_dense)
+    sparse: KeyedJaggedTensor
+    labels: np.ndarray  # float32, shape (batch,)
+    batch_id: int = 0
+
+    def __post_init__(self) -> None:
+        self.dense = np.asarray(self.dense, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.float32)
+        if self.dense.ndim != 2:
+            raise FormatError("dense tensor must be 2-D (batch, num_dense)")
+        batch = self.dense.shape[0]
+        if len(self.labels) != batch:
+            raise FormatError(
+                f"label count {len(self.labels)} != batch size {batch}"
+            )
+        if self.sparse.batch_size != batch:
+            raise FormatError(
+                f"KJT batch {self.sparse.batch_size} != dense batch {batch}"
+            )
+
+    @property
+    def batch_size(self) -> int:
+        """Number of samples in the batch."""
+        return self.dense.shape[0]
+
+    def nbytes(self) -> int:
+        """Total payload bytes shipped to the trainer (Load / RPC size)."""
+        return self.dense.nbytes + self.labels.nbytes + self.sparse.nbytes()
+
+    def validate_index_range(self, table_sizes: Dict[str, int]) -> None:
+        """Assert every embedding index is within its table (SigridHash's
+        contract: ``h mod d`` keeps indices below the table size)."""
+        for key in self.sparse.keys:
+            if key not in table_sizes:
+                raise FormatError(f"no embedding table registered for {key!r}")
+            _, values = self.sparse.jagged_for(key)
+            if values.size and (values.min() < 0 or values.max() >= table_sizes[key]):
+                raise FormatError(
+                    f"embedding indices of {key!r} fall outside "
+                    f"[0, {table_sizes[key]})"
+                )

@@ -1,0 +1,130 @@
+"""Synthetic raw-data generators.
+
+Section V-A: the paper scales the public Criteo dataset up to four synthetic
+production-scale configurations (RM2–RM5) following the characteristics Meta
+reported (more dense/sparse features, average sparse feature length 20).
+
+The generators here emit raw tables matching a :class:`~repro.features.specs.
+ModelSpec`'s schema with Criteo-like statistics:
+
+* dense values — heavy-tailed non-negative counts (log-normal), with a
+  configurable missing-value rate (encoded as NaN, later handled by the
+  fill + Log ops);
+* sparse ids — Zipf-distributed categorical ids over a large vocabulary
+  (hashing to the embedding-table range is precisely SigridHash's job);
+* sparse lengths — Criteo is fixed length 1; the synthetic models draw
+  per-row lengths from a Poisson around the configured average (min 0),
+  making the columns genuinely jagged;
+* labels — Bernoulli clicks at a configurable CTR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dataio.columnar import TableData
+from repro.dataio.schema import TableSchema
+from repro.errors import ConfigurationError
+from repro.features.specs import ModelSpec
+
+#: Vocabulary from which raw sparse ids are drawn, before SigridHash limits
+#: them to the embedding-table size.  Production raw ids are 64-bit hashes;
+#: a large range keeps the hash's modulo behaviour realistic.
+RAW_ID_SPACE = 2**40
+
+#: Click-through rate of the synthetic labels (Criteo-like).
+DEFAULT_CTR = 0.03
+
+
+def _seed_key(*parts) -> int:
+    """Fold arbitrary (int/str) parts into one deterministic integer seed."""
+    import zlib
+
+    acc = 0
+    for part in parts:
+        data = str(part).encode()
+        acc = (acc * 0x100000001B3 + zlib.crc32(data)) % (2**63)
+    return acc
+
+
+class SyntheticTableGenerator:
+    """Deterministic (seeded) generator of raw feature tables for one model."""
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        seed: int = 0,
+        ctr: float = DEFAULT_CTR,
+        zipf_exponent: float = 1.2,
+    ) -> None:
+        if not 0.0 < ctr < 1.0:
+            raise ConfigurationError(f"ctr must be in (0, 1), got {ctr}")
+        if zipf_exponent <= 1.0:
+            raise ConfigurationError("zipf_exponent must exceed 1.0")
+        self.spec = spec
+        self.seed = seed
+        self.ctr = ctr
+        self.zipf_exponent = zipf_exponent
+        self.schema: TableSchema = spec.schema()
+
+    def _rng(self, partition: int) -> np.random.Generator:
+        """Independent stream per partition so shards are reproducible."""
+        return np.random.default_rng(_seed_key(self.seed, self.spec.name, partition))
+
+    def _dense_column(self, rng: np.random.Generator, num_rows: int) -> np.ndarray:
+        values = rng.lognormal(mean=1.5, sigma=1.2, size=num_rows)
+        values = np.floor(values).astype(np.float32)
+        if self.spec.dense_missing_rate > 0:
+            missing = rng.random(num_rows) < self.spec.dense_missing_rate
+            values[missing] = np.nan
+        return values
+
+    def _sparse_column(self, rng: np.random.Generator, num_rows: int):
+        avg_len = self.spec.avg_sparse_length
+        if avg_len == 1:
+            lengths = np.ones(num_rows, dtype=np.int32)  # Criteo: fixed length 1
+        else:
+            lengths = rng.poisson(avg_len, size=num_rows).astype(np.int32)
+        total = int(lengths.sum())
+        # Zipf over a bounded vocabulary, then spread across the raw id space
+        # with a multiplicative hash so ids look like production 64-bit hashes.
+        ranks = rng.zipf(self.zipf_exponent, size=total).astype(np.uint64)
+        ids = (ranks * np.uint64(0x9E3779B97F4A7C15)) % np.uint64(RAW_ID_SPACE)
+        return lengths, ids.astype(np.int64)
+
+    def generate(self, num_rows: int, partition: int = 0) -> TableData:
+        """Generate one partition's raw table with ``num_rows`` rows."""
+        if num_rows <= 0:
+            raise ConfigurationError("num_rows must be positive")
+        rng = self._rng(partition)
+        data: TableData = {
+            self.schema.label.name: (rng.random(num_rows) < self.ctr).astype(np.int8)
+        }
+        for column in self.schema.dense:
+            data[column.name] = self._dense_column(rng, num_rows)
+        for column in self.schema.sparse:
+            data[column.name] = self._sparse_column(rng, num_rows)
+        return data
+
+    def bucket_boundaries(self, feature: Optional[str] = None) -> np.ndarray:
+        """Boundaries used by Bucketize for one generated feature.
+
+        The boundaries are quantile-like over the dense value distribution:
+        ``m`` (Table I's bucket size) strictly increasing edges.  The same
+        boundaries are used by both the CPU baseline and the PreSto
+        accelerator, as in TorchArrow where they are precomputed constants.
+        """
+        m = self.spec.bucket_size
+        rng = np.random.default_rng(
+            _seed_key(self.seed, self.spec.name, "buckets", feature)
+        )
+        # log-normal quantiles with a little jitter to keep edges distinct
+        qs = np.linspace(0.0, 6.0, m) + rng.random(m) * 1e-3
+        return np.sort(np.exp(qs).astype(np.float64))
+
+
+def generate_raw_table(spec: ModelSpec, num_rows: int, seed: int = 0) -> TableData:
+    """One-shot helper: generate a raw table for ``spec``."""
+    return SyntheticTableGenerator(spec, seed=seed).generate(num_rows)

@@ -1,0 +1,84 @@
+"""Shared-bandwidth network link.
+
+Models the 10 GbE fabric of the PoC prototype both analytically (transfer
+time of one message given concurrent streams) and as a DES resource (a
+:class:`~repro.sim.resources.Server` whose service time is the wire time).
+Fair sharing is approximated processor-sharing style: ``n`` concurrent bulk
+streams each see ``1/n`` of the link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.sim.engine import Engine
+from repro.sim.resources import Server
+
+
+@dataclass
+class TransferStats:
+    """Byte and message counters of one link."""
+
+    messages: int = 0
+    bytes_moved: float = 0.0
+    busy_time: float = 0.0
+
+    def record(self, num_bytes: float, seconds: float) -> None:
+        """Account one completed transfer."""
+        self.messages += 1
+        self.bytes_moved += num_bytes
+        self.busy_time += seconds
+
+
+class NetworkLink:
+    """One duplex link (or one direction of the shared fabric)."""
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth: float = None,
+        latency: float = None,
+        calibration: Calibration = CALIBRATION,
+    ) -> None:
+        self.cal = calibration
+        self.name = name
+        self.bandwidth = bandwidth if bandwidth is not None else calibration.network_bandwidth
+        self.latency = latency if latency is not None else calibration.rpc_request_overhead
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"link {name!r} needs positive bandwidth")
+        self.stats = TransferStats()
+
+    # -- analytic ----------------------------------------------------------
+
+    def transfer_time(
+        self, num_bytes: float, concurrent_streams: int = 1, efficiency: float = 1.0
+    ) -> float:
+        """Seconds to move ``num_bytes`` with fair sharing among streams."""
+        if num_bytes < 0:
+            raise ConfigurationError("cannot transfer negative bytes")
+        if concurrent_streams < 1:
+            raise ConfigurationError("concurrent_streams must be >= 1")
+        if not 0 < efficiency <= 1:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        effective = self.bandwidth * efficiency / concurrent_streams
+        seconds = self.latency + num_bytes / effective
+        self.stats.record(num_bytes, seconds)
+        return seconds
+
+    # -- DES integration ------------------------------------------------------
+
+    def as_server(self, engine_unused: Engine = None) -> Server:
+        """A single-slot DES server whose requests carry wire time.
+
+        The caller computes service time with :meth:`wire_time` so that the
+        server serializes transfers (bandwidth sharing emerges from queueing).
+        """
+        return Server(f"link:{self.name}", capacity=1)
+
+    def wire_time(self, num_bytes: float, efficiency: float = 1.0) -> float:
+        """Pure serialization delay of a message at full link rate."""
+        if num_bytes < 0:
+            raise ConfigurationError("cannot transfer negative bytes")
+        return self.latency + num_bytes / (self.bandwidth * efficiency)

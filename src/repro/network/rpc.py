@@ -1,0 +1,94 @@
+"""RPC accounting — reproduces Figure 13.
+
+Figure 13 reports "the aggregate latency incurred during any RPC calls
+executed for inter-node communication during the course of data
+preprocessing".  Aggregate means *summed across all calls*, including
+concurrent ones — so this accounting is deliberately separate from the
+worker latency models (where bulk transfers appear once, on the critical
+path).
+
+Per preprocessed mini-batch:
+
+* **Disagg** pays (a) per-column fetch requests to the storage node, (b) the
+  raw-data transfer (with read amplification), (c) the train-ready tensor
+  response to the train manager, and (d) control-plane calls;
+* **PreSto** eliminates (a) and (b) entirely — raw data moves over the
+  SmartSSD-internal P2P path, which is not the network — leaving only the
+  tensor response and control plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.features.specs import ModelSpec
+from repro.hardware.calibration import CALIBRATION, Calibration
+
+#: fixed cost of issuing one column-chunk fetch request (client + server)
+PER_COLUMN_REQUEST_OVERHEAD = 0.1e-3
+#: control-plane calls per batch (queue notify, credit return)
+CONTROL_CALLS_PER_BATCH = 2
+
+
+@dataclass(frozen=True)
+class RpcBatchCosts:
+    """Aggregate per-batch RPC seconds, split by purpose."""
+
+    fetch_requests: float
+    raw_data_transfer: float
+    tensor_response: float
+    control: float
+
+    @property
+    def total(self) -> float:
+        """Total aggregate RPC latency per mini-batch (Fig. 13 y-value)."""
+        return (
+            self.fetch_requests
+            + self.raw_data_transfer
+            + self.tensor_response
+            + self.control
+        )
+
+
+class RpcAccounting:
+    """Per-batch aggregate RPC time for each system design."""
+
+    def __init__(self, calibration: Calibration = CALIBRATION) -> None:
+        self.cal = calibration
+
+    def _columns_read(self, spec: ModelSpec) -> int:
+        """Columns the Extract phase requests: label + dense + sparse."""
+        return 1 + spec.num_dense + spec.num_sparse
+
+    def _tensor_response(self, spec: ModelSpec) -> float:
+        bytes_out = self.cal.train_ready_batch_bytes(spec)
+        rpc_bw = self.cal.network_bandwidth * self.cal.network_rpc_efficiency
+        return self.cal.rpc_request_overhead + bytes_out / rpc_bw
+
+    def _control(self) -> float:
+        return CONTROL_CALLS_PER_BATCH * self.cal.rpc_request_overhead
+
+    def disagg_batch(self, spec: ModelSpec) -> RpcBatchCosts:
+        """Aggregate RPC costs of the CPU-centric disaggregated design."""
+        cal = self.cal
+        bytes_in = cal.encoded_batch_bytes(spec)
+        read_bw = cal.network_bandwidth * cal.network_read_efficiency
+        return RpcBatchCosts(
+            fetch_requests=self._columns_read(spec) * PER_COLUMN_REQUEST_OVERHEAD,
+            raw_data_transfer=bytes_in * cal.storage_protocol_overhead / read_bw,
+            tensor_response=self._tensor_response(spec),
+            control=self._control(),
+        )
+
+    def presto_batch(self, spec: ModelSpec) -> RpcBatchCosts:
+        """Aggregate RPC costs of PreSto: no raw-data movement on the wire."""
+        return RpcBatchCosts(
+            fetch_requests=0.0,
+            raw_data_transfer=0.0,
+            tensor_response=self._tensor_response(spec),
+            control=self._control(),
+        )
+
+    def reduction(self, spec: ModelSpec) -> float:
+        """Disagg/PreSto aggregate-RPC ratio (paper: 2.9x on average)."""
+        return self.disagg_batch(spec).total / self.presto_batch(spec).total

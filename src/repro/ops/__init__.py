@@ -1,0 +1,35 @@
+"""Functional preprocessing operators (TorchArrow stand-ins).
+
+These kernels implement the exact transformations the paper offloads:
+
+* :func:`bucketize` — Algorithm 1, feature generation via binary search;
+* :func:`sigrid_hash` — Algorithm 2, feature normalization via seeded hash;
+* :func:`log_normalize` — dense feature normalization;
+* :func:`fill_dense` / :func:`fill_sparse` — missing-value handling;
+* :func:`to_minibatch` — format conversion into train-ready tensors;
+* :class:`PreprocessingPipeline` — the full per-model op graph.
+"""
+
+from repro.ops.bucketize import bucketize, search_bucket_id
+from repro.ops.sigridhash import sigrid_hash, sigrid_hash_scalar, hash64
+from repro.ops.lognorm import log_normalize
+from repro.ops.clip import clamp, truncate_list
+from repro.ops.fill import fill_dense, fill_sparse
+from repro.ops.format import to_minibatch
+from repro.ops.pipeline import PreprocessingPipeline, OpCounts
+
+__all__ = [
+    "bucketize",
+    "search_bucket_id",
+    "sigrid_hash",
+    "sigrid_hash_scalar",
+    "hash64",
+    "log_normalize",
+    "clamp",
+    "truncate_list",
+    "fill_dense",
+    "fill_sparse",
+    "to_minibatch",
+    "PreprocessingPipeline",
+    "OpCounts",
+]

@@ -1,0 +1,62 @@
+"""Clamp and list-truncation operators.
+
+Two more transformations from TorchArrow's production DLRM recipes:
+
+* :func:`clamp` — bound dense values into ``[low, high]`` before Log, which
+  tames corrupt outliers in logged counters;
+* :func:`truncate_list` — cap each sparse feature list at ``max_length``
+  ids (keeping the most recent, i.e. the tail), bounding the embedding
+  lookup work per sample.  Production pipelines truncate long interaction
+  histories exactly this way.
+
+Both are elementwise/rowwise and carry the same inter-/intra-feature
+parallelism as the three headline ops.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import OpError
+
+
+def clamp(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Clamp a dense column into ``[low, high]`` (NaNs pass through)."""
+    if low > high:
+        raise OpError(f"clamp range is empty: [{low}, {high}]")
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise OpError(f"clamp input must be 1-D, got shape {values.shape}")
+    return np.clip(values, low, high).astype(np.float32)
+
+
+def truncate_list(
+    lengths: np.ndarray, values: np.ndarray, max_length: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Keep at most the last ``max_length`` ids of every row's list.
+
+    Keeping the tail preserves the most recent interactions, matching the
+    recency bias of production history truncation.
+    """
+    if max_length <= 0:
+        raise OpError("max_length must be positive")
+    lengths = np.asarray(lengths, dtype=np.int32)
+    values = np.asarray(values, dtype=np.int64)
+    if lengths.ndim != 1 or values.ndim != 1:
+        raise OpError("truncate_list inputs must be 1-D")
+    if int(lengths.sum()) != len(values):
+        raise OpError("lengths do not sum to len(values)")
+    if not len(lengths) or lengths.max(initial=0) <= max_length:
+        return lengths.copy(), values.copy()
+
+    new_lengths = np.minimum(lengths, max_length)
+    out = np.empty(int(new_lengths.sum()), dtype=np.int64)
+    in_offsets = np.concatenate(([0], np.cumsum(lengths)))
+    out_offsets = np.concatenate(([0], np.cumsum(new_lengths)))
+    for row in range(len(lengths)):
+        stop = in_offsets[row + 1]
+        start = stop - new_lengths[row]  # tail of the row's list
+        out[out_offsets[row] : out_offsets[row + 1]] = values[start:stop]
+    return new_lengths, out

@@ -1,0 +1,59 @@
+"""Missing-value handling for raw feature columns.
+
+Raw logged data has holes: dense features with no observation for a user and
+sparse features with empty interaction lists.  TorchArrow pipelines run a
+``fill_null`` before normalization; these are its equivalents.  Their cost is
+part of the "Else" slice in the paper's Figure 5 breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import OpError
+
+
+def fill_dense(values: np.ndarray, fill_value: float = 0.0) -> np.ndarray:
+    """Replace NaNs in a dense column with ``fill_value`` (float32 out)."""
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise OpError(f"fill_dense input must be 1-D, got shape {values.shape}")
+    out = values.astype(np.float32, copy=True)
+    nan_mask = np.isnan(out)
+    if nan_mask.any():
+        out[nan_mask] = fill_value
+    return out
+
+
+def fill_sparse(
+    lengths: np.ndarray, values: np.ndarray, default_id: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Give every empty sparse row a single ``default_id`` entry.
+
+    Embedding lookups need at least one index per (sample, feature) for the
+    pooled reduction to be defined; TorchRec pads empty bags the same way.
+    """
+    lengths = np.asarray(lengths, dtype=np.int32)
+    values = np.asarray(values, dtype=np.int64)
+    if lengths.ndim != 1 or values.ndim != 1:
+        raise OpError("fill_sparse inputs must be 1-D")
+    if int(lengths.sum()) != len(values):
+        raise OpError("lengths do not sum to len(values)")
+    empty = lengths == 0
+    if not empty.any():
+        return lengths, values
+    new_lengths = lengths.copy()
+    new_lengths[empty] = 1
+    out = np.empty(int(new_lengths.sum()), dtype=np.int64)
+    # positions of each row's slice in the output
+    out_offsets = np.concatenate(([0], np.cumsum(new_lengths)))
+    in_offsets = np.concatenate(([0], np.cumsum(lengths)))
+    for row in range(len(lengths)):
+        start, stop = out_offsets[row], out_offsets[row + 1]
+        if empty[row]:
+            out[start] = default_id
+        else:
+            out[start:stop] = values[in_offsets[row] : in_offsets[row + 1]]
+    return new_lengths, out

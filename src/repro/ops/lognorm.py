@@ -1,0 +1,23 @@
+"""Log — dense feature normalization.
+
+TorchArrow's DLRM recipe normalizes each dense feature with
+``log(x + 1)`` after clamping negatives to zero, compressing the heavy-tailed
+count distributions Criteo-style data exhibits.  NaNs that survive the fill
+op are treated as zero, matching the null-handling of the reference pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OpError
+
+
+def log_normalize(values: np.ndarray) -> np.ndarray:
+    """Apply ``log(max(x, 0) + 1)`` elementwise; output float32."""
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise OpError(f"log_normalize input must be 1-D, got shape {values.shape}")
+    cleaned = np.nan_to_num(values.astype(np.float64), nan=0.0)
+    cleaned = np.maximum(cleaned, 0.0)
+    return np.log1p(cleaned).astype(np.float32)

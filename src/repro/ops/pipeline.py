@@ -1,0 +1,222 @@
+"""The per-model preprocessing pipeline (the full Transform phase).
+
+A :class:`PreprocessingPipeline` binds one Table I model to the concrete op
+graph the paper describes (Section II-C):
+
+1. feature generation — Bucketize the first ``num_generated_sparse`` dense
+   features into new sparse features;
+2. feature normalization — Log on every dense feature, SigridHash on every
+   raw sparse feature;
+3. format conversion — pack everything into a train-ready MiniBatch.
+
+Running the pipeline both *computes* the mini-batch (functional layer) and
+*counts* the work done (:class:`OpCounts`), which is what the performance
+models consume.  ``OpCounts.expected_for`` derives the same counts
+analytically from the spec so performance experiments don't need to
+materialize data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dataio.columnar import TableData
+from repro.errors import PipelineError
+from repro.features.minibatch import MiniBatch
+from repro.features.specs import ModelSpec
+from repro.features.synthetic import SyntheticTableGenerator
+from repro.ops.bucketize import bucketize
+from repro.ops.clip import clamp, truncate_list
+from repro.ops.fill import fill_dense, fill_sparse
+from repro.ops.format import to_minibatch
+from repro.ops.lognorm import log_normalize
+from repro.ops.sigridhash import sigrid_hash
+
+#: Seed TorchArrow's DLRM recipe uses for SigridHash; any fixed value works.
+DEFAULT_HASH_SEED = 0xC0FFEE
+
+
+@dataclass
+class OpCounts:
+    """Work counters for one preprocessed mini-batch.
+
+    These are the quantities every hardware model is parameterized on:
+    element counts per operation plus the binary-search depth for Bucketize.
+    """
+
+    rows: int
+    log_elements: int  # dense values normalized by Log
+    bucketize_elements: int  # dense values digitized by Bucketize
+    bucket_boundaries: int  # m — binary-search space per Bucketize element
+    hash_elements: int  # sparse ids normalized by SigridHash
+    fill_elements: int  # values touched by the fill ops
+    format_elements: int  # values packed during format conversion
+    raw_dense_values: int
+    raw_sparse_values: int
+
+    @property
+    def search_steps_per_element(self) -> float:
+        """Binary-search iterations per Bucketize element: ceil(log2(m+1))."""
+        return float(int(np.ceil(np.log2(self.bucket_boundaries + 1))))
+
+    @property
+    def transform_elements(self) -> int:
+        """Total elements touched by the three offloaded ops."""
+        return self.log_elements + self.bucketize_elements + self.hash_elements
+
+    @classmethod
+    def expected_for(cls, spec: ModelSpec, batch_size: Optional[int] = None) -> "OpCounts":
+        """Analytic counts for one batch of ``spec`` (expected values)."""
+        rows = batch_size if batch_size is not None else spec.batch_size
+        sparse_values = int(round(rows * spec.sparse_elements_per_sample()))
+        dense_values = rows * spec.num_dense
+        generated = rows * spec.num_generated_sparse
+        return cls(
+            rows=rows,
+            log_elements=dense_values,
+            bucketize_elements=generated,
+            bucket_boundaries=spec.bucket_size,
+            hash_elements=sparse_values,
+            fill_elements=dense_values,
+            format_elements=dense_values + sparse_values + generated,
+            raw_dense_values=dense_values,
+            raw_sparse_values=sparse_values,
+        )
+
+
+class PreprocessingPipeline:
+    """Executable Transform phase for one Table I model."""
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        boundaries: Optional[Dict[str, np.ndarray]] = None,
+        hash_seed: int = DEFAULT_HASH_SEED,
+        generator_seed: int = 0,
+        max_sparse_length: Optional[int] = None,
+        dense_clamp: Optional[Tuple[float, float]] = None,
+    ) -> None:
+        """``max_sparse_length`` truncates interaction histories before
+        hashing; ``dense_clamp=(low, high)`` bounds dense outliers before
+        Log — both optional steps from production TorchArrow recipes."""
+        if max_sparse_length is not None and max_sparse_length <= 0:
+            raise PipelineError("max_sparse_length must be positive")
+        self.spec = spec
+        self.hash_seed = hash_seed
+        self.max_sparse_length = max_sparse_length
+        self.dense_clamp = dense_clamp
+        self.schema = spec.schema()
+        if boundaries is None:
+            gen = SyntheticTableGenerator(spec, seed=generator_seed)
+            boundaries = {
+                name: gen.bucket_boundaries(name)
+                for name in spec.bucketize_source_names
+            }
+        missing = [n for n in spec.bucketize_source_names if n not in boundaries]
+        if missing:
+            raise PipelineError(f"missing bucket boundaries for {missing}")
+        for name, edges in boundaries.items():
+            if len(edges) != spec.bucket_size:
+                raise PipelineError(
+                    f"boundaries for {name!r} have {len(edges)} edges, "
+                    f"Table I says bucket size {spec.bucket_size}"
+                )
+        self.boundaries = boundaries
+        #: embedding-table sizes: hashed features use the model's average
+        #: table size; generated features have bucket_size + 1 rows.
+        self.table_sizes: Dict[str, int] = {}
+        for name in self.schema.sparse_names:
+            self.table_sizes[name] = spec.avg_embeddings_per_table
+        for name in spec.generated_sparse_names:
+            self.table_sizes[name] = spec.bucket_size + 1
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, raw: TableData, batch_id: int = 0) -> Tuple[MiniBatch, OpCounts]:
+        """Transform one raw partition into a MiniBatch, counting the work."""
+        label_name = self.schema.label.name
+        if label_name not in raw:
+            raise PipelineError(f"raw table is missing the label column")
+        labels = np.asarray(raw[label_name])
+        rows = len(labels)
+
+        fill_elements = 0
+        # 1. fill + feature generation -----------------------------------
+        filled_dense: Dict[str, np.ndarray] = {}
+        for name in self.schema.dense_names:
+            if name not in raw:
+                raise PipelineError(f"raw table is missing dense column {name!r}")
+            column = fill_dense(raw[name])
+            if self.dense_clamp is not None:
+                column = clamp(column, *self.dense_clamp)
+            filled_dense[name] = column
+            fill_elements += rows
+
+        generated: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        bucketize_elements = 0
+        for source, target in zip(
+            self.spec.bucketize_source_names, self.spec.generated_sparse_names
+        ):
+            ids = bucketize(filled_dense[source], self.boundaries[source])
+            lengths = np.ones(rows, dtype=np.int32)
+            generated[target] = (lengths, ids)
+            bucketize_elements += rows
+
+        # 2. normalization -------------------------------------------------
+        normalized_dense = {
+            name: log_normalize(values) for name, values in filled_dense.items()
+        }
+        log_elements = rows * len(normalized_dense)
+
+        hashed_sparse: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        hash_elements = 0
+        for name in self.schema.sparse_names:
+            if name not in raw:
+                raise PipelineError(f"raw table is missing sparse column {name!r}")
+            lengths, values = raw[name]
+            if self.max_sparse_length is not None:
+                lengths, values = truncate_list(
+                    lengths, values, self.max_sparse_length
+                )
+            lengths, values = fill_sparse(lengths, values)
+            fill_elements += len(values)
+            hashed = sigrid_hash(values, self.hash_seed, self.table_sizes[name])
+            hashed_sparse[name] = (np.asarray(lengths, dtype=np.int32), hashed)
+            hash_elements += len(values)
+
+        # 3. format conversion ---------------------------------------------
+        all_sparse = dict(hashed_sparse)
+        all_sparse.update(generated)
+        sparse_order = self.schema.sparse_names + self.spec.generated_sparse_names
+        batch = to_minibatch(
+            dense_columns=normalized_dense,
+            sparse_columns=all_sparse,
+            labels=labels,
+            dense_order=self.schema.dense_names,
+            sparse_order=sparse_order,
+            batch_id=batch_id,
+        )
+        counts = OpCounts(
+            rows=rows,
+            log_elements=log_elements,
+            bucketize_elements=bucketize_elements,
+            bucket_boundaries=self.spec.bucket_size,
+            hash_elements=hash_elements,
+            fill_elements=fill_elements,
+            format_elements=int(batch.dense.size + batch.sparse.values.size
+                                + batch.sparse.lengths.size),
+            raw_dense_values=rows * len(self.schema.dense_names),
+            raw_sparse_values=hash_elements,
+        )
+        return batch, counts
+
+    def required_columns(self) -> Tuple[str, ...]:
+        """Columns the Extract phase must fetch (everything this model uses)."""
+        return tuple(
+            [self.schema.label.name]
+            + self.schema.dense_names
+            + self.schema.sparse_names
+        )

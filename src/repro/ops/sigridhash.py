@@ -1,0 +1,79 @@
+"""SigridHash — sparse feature normalization (Algorithm 2 of the paper).
+
+Maps raw (arbitrarily large) categorical ids into the index range of the
+model's embedding table: ``c[i] = ComputeHash(a[i], seed) mod max_value``.
+
+The hash is a seeded 64-bit finalizer in the splitmix64 / MurmurHash3
+fmix64 family — the same construction TorchArrow's SigridHash uses
+(a Twang-style 64-bit mix).  It is:
+
+* deterministic given (value, seed),
+* uniform over the 64-bit space (verified by property tests),
+* cheap enough to be evaluated per element, which is exactly why the paper's
+  FPGA maps it onto DSP-based parallel hash units.
+
+A vectorized numpy path operates on whole columns; the scalar path is the
+literal Algorithm 2 transcription used by tests as a cross-check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OpError
+
+_MASK64 = (1 << 64) - 1
+
+# splitmix64 constants
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def hash64(value: int, seed: int = 0) -> int:
+    """Seeded 64-bit mix of one integer (scalar reference implementation)."""
+    h = (value + _GAMMA * (seed + 1)) & _MASK64
+    h ^= h >> 30
+    h = (h * _MIX1) & _MASK64
+    h ^= h >> 27
+    h = (h * _MIX2) & _MASK64
+    h ^= h >> 31
+    return h
+
+
+def sigrid_hash_scalar(value: int, seed: int, max_value: int) -> int:
+    """Algorithm 2, one element: ``ComputeHash(a[i], s) mod d``."""
+    if max_value <= 0:
+        raise OpError("max_value must be positive")
+    return hash64(value, seed) % max_value
+
+
+def _hash64_vec(values: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorized splitmix64 over an int64/uint64 column."""
+    h = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        h += np.uint64((_GAMMA * (seed + 1)) & _MASK64)
+        h ^= h >> np.uint64(30)
+        h *= np.uint64(_MIX1)
+        h ^= h >> np.uint64(27)
+        h *= np.uint64(_MIX2)
+        h ^= h >> np.uint64(31)
+    return h
+
+
+def sigrid_hash(values: np.ndarray, seed: int, max_value: int) -> np.ndarray:
+    """Normalize a flat column of sparse ids into ``[0, max_value)``.
+
+    Output dtype is int64 (indices are later narrowed to int32 for the
+    train-ready tensors; ``max_value`` must fit in int32 for that to be
+    lossless, which Table I's 500,000-row tables satisfy).
+    """
+    if max_value <= 0:
+        raise OpError("max_value must be positive")
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise OpError(f"sigrid_hash input must be 1-D, got shape {values.shape}")
+    if not np.issubdtype(values.dtype, np.integer):
+        raise OpError("sigrid_hash input must be integer ids")
+    hashed = _hash64_vec(values, seed)
+    return (hashed % np.uint64(max_value)).astype(np.int64)

@@ -1,0 +1,132 @@
+"""Generator-based discrete-event engine.
+
+Processes are Python generators that yield *events*:
+
+* :class:`Timeout`  — resume after a simulated delay;
+* any object with a ``_subscribe(engine, process)`` method — resource/queue
+  primitives from :mod:`repro.sim.resources` implement this protocol and
+  resume the process when the request is satisfied, sending a value back
+  into the generator.
+
+The event queue is a heap ordered by (time, sequence) so simultaneous events
+fire in FIFO order, which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+ProcessGenerator = Generator[Any, Any, None]
+
+
+class Timeout:
+    """Yieldable event: resume the process after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class Process:
+    """Handle for one running process; usable for completion queries."""
+
+    def __init__(self, name: str, generator: ProcessGenerator) -> None:
+        self.name = name
+        self.generator = generator
+        self.finished = False
+        self.finish_time: Optional[float] = None
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Engine:
+    """The simulation kernel: clock, event heap, process scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processes: List[Process] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), callback))
+
+    def spawn(self, name: str, generator: ProcessGenerator) -> Process:
+        """Register a process and schedule its first step at the current time."""
+        process = Process(name, generator)
+        self._processes.append(process)
+        self.schedule(0.0, lambda: self._step(process, None))
+        return process
+
+    def _step(self, process: Process, send_value: Any) -> None:
+        """Advance one process by one yield."""
+        if process.finished:
+            raise SimulationError(f"stepping finished process {process.name!r}")
+        try:
+            event = process.generator.send(send_value)
+        except StopIteration:
+            process.finished = True
+            process.finish_time = self.now
+            return
+        if isinstance(event, Timeout):
+            self.schedule(event.delay, lambda: self._step(process, None))
+        elif hasattr(event, "_subscribe"):
+            event._subscribe(self, process)
+        else:
+            raise SimulationError(
+                f"process {process.name!r} yielded unknown event {event!r}"
+            )
+
+    def resume(self, process: Process, value: Any = None) -> None:
+        """Resume a process blocked on a resource event (used by resources)."""
+        self.schedule(0.0, lambda: self._step(process, value))
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Execute events until the heap drains or ``until`` is reached.
+
+        Returns the final simulated time.  ``max_events`` guards against
+        accidental infinite loops in model code.
+        """
+        events = 0
+        while self._heap:
+            time, _, callback = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if time < self.now - 1e-12:
+                raise SimulationError("event heap went backwards in time")
+            self.now = time
+            callback()
+            events += 1
+            if events > max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway model?")
+        return self.now
+
+    @property
+    def processes(self) -> List[Process]:
+        """All processes ever spawned (finished and running)."""
+        return list(self._processes)
+
+    def all_finished(self) -> bool:
+        """True when every spawned process has run to completion."""
+        return all(p.finished for p in self._processes)

@@ -1,0 +1,105 @@
+"""Distributed storage cluster with partition placement.
+
+Figure 1's data-storage stage: the logical table is sharded into
+per-mini-batch partitions; each partition is one columnar file stored
+*contiguously on a single device* so ISP can preprocess it locally.  The
+cluster spreads partitions across devices round-robin (the paper's example
+stores consecutive partitions on different SSDs).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.dataio.partition import Partition
+from repro.errors import ConfigurationError
+from repro.storage.smartssd import SmartSsd
+from repro.storage.ssd import SsdModel
+
+Device = Union[SsdModel, SmartSsd]
+
+
+class PlacementPolicy(enum.Enum):
+    """How partitions map to devices."""
+
+    ROUND_ROBIN = "round_robin"
+    FILL_FIRST = "fill_first"
+
+
+def _underlying_ssd(device: Device) -> SsdModel:
+    return device.ssd if isinstance(device, SmartSsd) else device
+
+
+class DistributedStorage:
+    """A set of storage devices holding a partitioned dataset."""
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        policy: PlacementPolicy = PlacementPolicy.ROUND_ROBIN,
+    ) -> None:
+        if not devices:
+            raise ConfigurationError("a storage cluster needs devices")
+        self.devices: List[Device] = list(devices)
+        self.policy = policy
+        self._placement: Dict[str, int] = {}
+
+    # -- placement -----------------------------------------------------------
+
+    @staticmethod
+    def partition_key(dataset: str, index: int) -> str:
+        """Canonical object key of one partition."""
+        return f"{dataset}/partition-{index:06d}"
+
+    def store_partitions(self, dataset: str, partitions: Sequence[Partition]) -> None:
+        """Place every partition on a device per the policy."""
+        for order, partition in enumerate(partitions):
+            key = self.partition_key(dataset, partition.index)
+            device_idx = self._choose_device(order, len(partition.file_bytes))
+            _underlying_ssd(self.devices[device_idx]).write_object(
+                key, partition.file_bytes
+            )
+            self._placement[key] = device_idx
+
+    def _choose_device(self, order: int, size: int) -> int:
+        if self.policy is PlacementPolicy.ROUND_ROBIN:
+            return order % len(self.devices)
+        for idx, device in enumerate(self.devices):
+            ssd = _underlying_ssd(device)
+            if ssd.bytes_stored + size <= ssd.capacity_bytes:
+                return idx
+        raise ConfigurationError("no device has room for this partition")
+
+    # -- lookup ------------------------------------------------------------------
+
+    def device_of(self, dataset: str, index: int) -> Device:
+        """The device holding one partition (ISP locality queries)."""
+        key = self.partition_key(dataset, index)
+        if key not in self._placement:
+            raise ConfigurationError(f"partition {key!r} not stored")
+        return self.devices[self._placement[key]]
+
+    def read_partition(self, dataset: str, index: int) -> bytes:
+        """Read one partition's columnar file bytes."""
+        key = self.partition_key(dataset, index)
+        device = self.device_of(dataset, index)
+        return _underlying_ssd(device).read_object(key)
+
+    def partitions_on(self, device_index: int, dataset: Optional[str] = None) -> List[str]:
+        """Keys of partitions placed on one device."""
+        if device_index < 0 or device_index >= len(self.devices):
+            raise ConfigurationError(f"no device {device_index}")
+        keys = [k for k, d in self._placement.items() if d == device_index]
+        if dataset is not None:
+            keys = [k for k in keys if k.startswith(f"{dataset}/")]
+        return sorted(keys)
+
+    @property
+    def num_partitions(self) -> int:
+        """Total partitions stored across the cluster."""
+        return len(self._placement)
+
+    def total_bytes(self) -> float:
+        """Bytes stored across all devices."""
+        return sum(_underlying_ssd(d).bytes_stored for d in self.devices)

@@ -1,0 +1,95 @@
+"""Server-node configurations of the PoC prototype (Section V-B).
+
+Three node types appear in the paper's testbed:
+
+* the **storage node** — hosts the distributed storage devices (plain SSDs
+  for the baseline, SmartSSDs for PreSto);
+* **CPU nodes** — two-socket Xeon Gold 6242 servers pooled for
+  disaggregated preprocessing (32 cores each);
+* the **GPU training node** — an EPYC host with A100 GPUs.
+
+Nodes carry their price/power characteristics for the TCO analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.storage.smartssd import SmartSsd
+from repro.storage.ssd import SsdModel
+
+
+@dataclass
+class StorageNode:
+    """The storage-system node: a set of SSD or SmartSSD devices."""
+
+    name: str = "storage-node"
+    devices: List[Union[SsdModel, SmartSsd]] = field(default_factory=list)
+    calibration: Calibration = field(default=CALIBRATION, repr=False)
+
+    def add_device(self, device: Union[SsdModel, SmartSsd]) -> None:
+        """Attach one storage device."""
+        self.devices.append(device)
+
+    @property
+    def smartssds(self) -> List[SmartSsd]:
+        """ISP-capable devices on this node."""
+        return [d for d in self.devices if isinstance(d, SmartSsd)]
+
+    @property
+    def plain_ssds(self) -> List[SsdModel]:
+        """Conventional SSDs on this node."""
+        return [d for d in self.devices if isinstance(d, SsdModel)]
+
+    def device_for(self, key: str) -> Union[SsdModel, SmartSsd]:
+        """The device holding object ``key``."""
+        for device in self.devices:
+            ssd = device.ssd if isinstance(device, SmartSsd) else device
+            if ssd.has_object(key):
+                return device
+        raise ConfigurationError(f"no device on {self.name} holds {key!r}")
+
+
+@dataclass
+class CpuNode:
+    """One disaggregated preprocessing server (2-socket Xeon 6242 class)."""
+
+    name: str = "cpu-node"
+    calibration: Calibration = field(default=CALIBRATION, repr=False)
+
+    @property
+    def num_cores(self) -> int:
+        """Preprocessing worker slots on this node."""
+        return self.calibration.cpu_cores_per_node
+
+    @property
+    def power(self) -> float:
+        """Loaded node power draw (watts)."""
+        return self.calibration.cpu_node_power
+
+    @property
+    def price(self) -> float:
+        """Node CapEx (dollars)."""
+        return self.calibration.cpu_node_price
+
+
+@dataclass
+class GpuNode:
+    """The GPU training node (up to 8 A100s, DGX-class)."""
+
+    name: str = "gpu-node"
+    num_gpus: int = 8
+    calibration: Calibration = field(default=CALIBRATION, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_gpus <= 0:
+            raise ConfigurationError("GpuNode needs at least one GPU")
+
+    @property
+    def colocated_cores_per_gpu(self) -> int:
+        """Host cores available per GPU for co-located preprocessing
+        (DGX A100: 128 cores / 8 GPUs = 16)."""
+        return 16

@@ -1,0 +1,76 @@
+"""Datacenter NVMe SSD model.
+
+Partitions (columnar files) are stored contiguously on one device (the
+Tectonic behaviour Section IV-B relies on), so reads are dominated by
+sequential bandwidth plus a fixed request latency.  The model tracks stored
+objects by key so the cluster can answer "which device holds partition i"
+and the functional layer can actually read bytes back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.units import GIB
+
+
+@dataclass
+class SsdModel:
+    """One NVMe SSD: capacity, bandwidth, and a key -> bytes object store."""
+
+    name: str
+    capacity_bytes: float = 4 * 1024 * GIB  # 4 TB class, like the SmartSSD's
+    read_bw: float = CALIBRATION.ssd_read_bw
+    read_latency: float = CALIBRATION.ssd_read_latency
+    _objects: Dict[str, bytes] = field(default_factory=dict, repr=False)
+    bytes_stored: float = 0.0
+    bytes_read: float = 0.0
+
+    # -- object store -------------------------------------------------------
+
+    def write_object(self, key: str, data: bytes) -> None:
+        """Store one immutable object (a partition's columnar file)."""
+        if key in self._objects:
+            raise ConfigurationError(f"object {key!r} already on {self.name}")
+        if self.bytes_stored + len(data) > self.capacity_bytes:
+            raise CapacityError(f"{self.name} is full")
+        self._objects[key] = data
+        self.bytes_stored += len(data)
+
+    def read_object(self, key: str) -> bytes:
+        """Return one stored object's bytes (functional path)."""
+        if key not in self._objects:
+            raise ConfigurationError(f"no object {key!r} on {self.name}")
+        data = self._objects[key]
+        self.bytes_read += len(data)
+        return data
+
+    def has_object(self, key: str) -> bool:
+        """Whether ``key`` is stored on this device."""
+        return key in self._objects
+
+    def object_size(self, key: str) -> int:
+        """Stored size of one object."""
+        return len(self.read_object_silent(key))
+
+    def read_object_silent(self, key: str) -> bytes:
+        """Read without charging I/O counters (metadata peeks)."""
+        if key not in self._objects:
+            raise ConfigurationError(f"no object {key!r} on {self.name}")
+        return self._objects[key]
+
+    # -- timing ------------------------------------------------------------------
+
+    def read_time(self, num_bytes: float) -> float:
+        """Seconds to sequentially read ``num_bytes`` from flash."""
+        if num_bytes < 0:
+            raise ConfigurationError("cannot read negative bytes")
+        return self.read_latency + num_bytes / self.read_bw
+
+    @property
+    def num_objects(self) -> int:
+        """Stored object count."""
+        return len(self._objects)

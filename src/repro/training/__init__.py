@@ -1,0 +1,9 @@
+"""GPU training substrate: a DLRM cost model per Table I architecture and an
+A100 device model yielding the max training throughput ``T`` that drives the
+paper's T/P provisioning, plus the train-manager consumer process."""
+
+from repro.training.dlrm import DlrmCostModel, DlrmWorkload
+from repro.training.gpu import GpuTrainingModel
+from repro.training.trainer import TrainManager
+
+__all__ = ["DlrmCostModel", "DlrmWorkload", "GpuTrainingModel", "TrainManager"]

@@ -1,0 +1,92 @@
+"""DLRM per-iteration work model.
+
+Counts the arithmetic and memory traffic of one training iteration of a
+Table I model: bottom MLP, embedding lookups + pooling, pairwise feature
+interaction, top MLP, and the backward/optimizer passes.  The counts feed
+the A100 device model in :mod:`repro.training.gpu`.
+
+The model follows the DLRM architecture (Naumov et al.): the bottom MLP
+embeds the dense vector to ``embedding_dim``; every sparse feature is pooled
+to one ``embedding_dim`` vector; the interaction takes dot products between
+all pairs of the (num_tables + 1) vectors; the top MLP consumes the bottom
+output concatenated with the interaction terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.features.specs import ModelSpec
+
+
+@dataclass(frozen=True)
+class DlrmWorkload:
+    """Per-sample work of one training iteration of one model."""
+
+    forward_macs: float  # multiply-accumulates, forward pass
+    training_flops: float  # fwd + bwd flops
+    embedding_lookups: float  # rows gathered per sample
+    embedding_bytes: float  # bytes moved for embeddings incl. optimizer
+    activation_bytes: float  # MLP/interaction activations
+
+
+class DlrmCostModel:
+    """Derive a :class:`DlrmWorkload` from a Table I :class:`ModelSpec`."""
+
+    #: backward pass costs ~2x the forward flops (grad wrt inputs + weights)
+    TRAIN_FLOP_MULTIPLIER = 3.0
+
+    def __init__(self, spec: ModelSpec) -> None:
+        self.spec = spec
+
+    @property
+    def interaction_inputs(self) -> int:
+        """Vectors entering feature interaction: one per embedding table
+        plus the bottom-MLP output."""
+        return self.spec.num_tables + 1
+
+    @property
+    def interaction_terms(self) -> int:
+        """Distinct pairwise dot products (lower triangle, no diagonal)."""
+        n = self.interaction_inputs
+        return n * (n - 1) // 2
+
+    @property
+    def top_mlp_input_width(self) -> int:
+        """Bottom output concatenated with the interaction terms."""
+        return self.spec.embedding_dim + self.interaction_terms
+
+    def forward_macs(self) -> float:
+        """Forward multiply-accumulates per sample."""
+        spec = self.spec
+        bottom = spec.bottom_mlp.macs(spec.num_dense)
+        interaction = self.interaction_terms * spec.embedding_dim
+        top = spec.top_mlp.macs(self.top_mlp_input_width)
+        # pooling: one add per looked-up row element
+        pooling = spec.embedding_indices_per_sample() * spec.embedding_dim
+        return bottom + interaction + top + pooling
+
+    def workload(self, embedding_traffic_multiplier: float = 4.0) -> DlrmWorkload:
+        """Full per-sample workload.
+
+        ``embedding_traffic_multiplier`` scales raw forward gather bytes to
+        account for gradient writes and optimizer state (read + write), the
+        dominant memory traffic of RecSys training.
+        """
+        spec = self.spec
+        fwd = self.forward_macs()
+        lookups = spec.embedding_indices_per_sample()
+        gather_bytes = lookups * spec.embedding_dim * 4.0
+        activations = 4.0 * (
+            spec.num_dense
+            + 2 * sum(spec.bottom_mlp.layers)
+            + 2 * sum(spec.top_mlp.layers)
+            + self.top_mlp_input_width
+        )
+        return DlrmWorkload(
+            forward_macs=fwd,
+            training_flops=2.0 * fwd * self.TRAIN_FLOP_MULTIPLIER,
+            embedding_lookups=lookups,
+            embedding_bytes=gather_bytes * embedding_traffic_multiplier,
+            activation_bytes=activations,
+        )

@@ -1,0 +1,85 @@
+"""A100 training device model — the source of ``T``.
+
+The train manager stress-tests the GPU with dummy mini-batches to find its
+maximum sustainable training throughput ``T`` (Figure 9, step 2); this model
+is that measurement.  One iteration's time is the slower of the compute
+roofline and the embedding-gather memory roofline, plus per-iteration fixed
+overheads and per-table kernel costs.  Throughput is then
+``batch / iteration_time``, and an 8-GPU node sustains ``8 T`` (the paper's
+node-level provisioning target in Figures 4 and 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.features.specs import ModelSpec
+from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.training.dlrm import DlrmCostModel
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """Where one training iteration's time goes."""
+
+    compute: float
+    embedding: float
+    kernel_overhead: float
+    fixed_overhead: float
+
+    @property
+    def total(self) -> float:
+        """Iteration seconds: compute overlaps gathers; overheads serialize."""
+        return max(self.compute, self.embedding) + self.kernel_overhead + self.fixed_overhead
+
+
+class GpuTrainingModel:
+    """Max training throughput of one A100 for a Table I model."""
+
+    def __init__(self, calibration: Calibration = CALIBRATION) -> None:
+        self.cal = calibration
+
+    def iteration_breakdown(
+        self, spec: ModelSpec, batch_size: Optional[int] = None
+    ) -> IterationBreakdown:
+        """Per-iteration time components at ``batch_size``."""
+        cal = self.cal
+        rows = batch_size if batch_size is not None else spec.batch_size
+        work = DlrmCostModel(spec).workload(cal.gpu_embedding_traffic_multiplier)
+        compute = rows * work.training_flops / (
+            cal.gpu_peak_flops * cal.gpu_flops_efficiency
+        )
+        embedding = rows * work.embedding_bytes / cal.gpu_gather_bw
+        kernels = spec.num_tables * cal.gpu_kernel_overhead_per_table
+        return IterationBreakdown(
+            compute=compute,
+            embedding=embedding,
+            kernel_overhead=kernels,
+            fixed_overhead=cal.gpu_iteration_overhead,
+        )
+
+    def max_training_throughput(
+        self, spec: ModelSpec, batch_size: Optional[int] = None
+    ) -> float:
+        """``T``: samples/s one A100 sustains when never input-starved."""
+        rows = batch_size if batch_size is not None else spec.batch_size
+        return rows / self.iteration_breakdown(spec, rows).total
+
+    def node_throughput(
+        self, spec: ModelSpec, num_gpus: int = 8, batch_size: Optional[int] = None
+    ) -> float:
+        """Aggregate demand of a multi-GPU training node (data parallel)."""
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        return num_gpus * self.max_training_throughput(spec, batch_size)
+
+    def utilization(
+        self, spec: ModelSpec, preprocessing_throughput: float
+    ) -> float:
+        """GPU utilization when fed ``preprocessing_throughput`` samples/s:
+        the fraction of time the GPU actually trains (Fig. 3, right axis)."""
+        if preprocessing_throughput <= 0:
+            return 0.0
+        t_max = self.max_training_throughput(spec)
+        return min(preprocessing_throughput / t_max, 1.0)

@@ -1,0 +1,108 @@
+"""Tests for the cost/energy analysis and metric helpers."""
+
+import pytest
+
+from repro.analysis.cost import CostBreakdown, cost_breakdown, cost_efficiency, opex
+from repro.analysis.energy import energy_efficiency, preprocessing_energy_per_epoch
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    normalize_to,
+    share,
+    speedup,
+    stacked_shares,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import CALIBRATION
+
+
+class TestOpex:
+    def test_kwh_math(self):
+        # 1000 W for 1000 hours = 1000 kWh at $0.0733/kWh
+        assert opex(1000.0, 1000.0) == pytest.approx(1000 * 0.0733)
+
+    def test_default_duration_is_3_years(self):
+        expected = 100.0 * CALIBRATION.amortization_hours / 1000 * 0.0733
+        assert opex(100.0) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            opex(-1.0)
+        with pytest.raises(ConfigurationError):
+            opex(1.0, duration_hours=-1.0)
+
+
+class TestCostEfficiency:
+    def test_breakdown_total(self):
+        breakdown = cost_breakdown(capex=1000.0, power_watts=100.0)
+        assert breakdown.total == pytest.approx(breakdown.capex + breakdown.opex)
+
+    def test_ratio_reduces_to_inverse_cost(self):
+        """Same throughput/duration: the efficiency ratio must equal the
+        inverse total-cost ratio (the paper's observation)."""
+        a = cost_efficiency(1e5, capex=10_000.0, power_watts=1000.0)
+        b = cost_efficiency(1e5, capex=5_000.0, power_watts=500.0)
+        cost_a = cost_breakdown(10_000.0, 1000.0).total
+        cost_b = cost_breakdown(5_000.0, 500.0).total
+        assert b / a == pytest.approx(cost_a / cost_b)
+
+    def test_higher_throughput_more_efficient(self):
+        low = cost_efficiency(1e4, 1000.0, 100.0)
+        high = cost_efficiency(1e5, 1000.0, 100.0)
+        assert high == pytest.approx(10 * low)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cost_efficiency(-1.0, 1000.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            cost_efficiency(1.0, 0.0, 0.0, duration_hours=0.0)
+
+
+class TestEnergy:
+    def test_energy_efficiency(self):
+        assert energy_efficiency(1000.0, 10.0) == pytest.approx(100.0)
+        with pytest.raises(ConfigurationError):
+            energy_efficiency(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            energy_efficiency(-1.0, 1.0)
+
+    def test_epoch_energy(self):
+        # 100 W, 1e6 samples at 1e4 samples/s -> 100 s -> 10 kJ
+        assert preprocessing_energy_per_epoch(100.0, 1e6, 1e4) == pytest.approx(1e4)
+        with pytest.raises(ConfigurationError):
+            preprocessing_energy_per_epoch(1.0, 1.0, 0.0)
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ConfigurationError):
+            speedup(1.0, 0.0)
+
+    def test_normalize_to(self):
+        assert normalize_to([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ConfigurationError):
+            normalize_to([1.0], 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, -1.0])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            arithmetic_mean([])
+
+    def test_share(self):
+        assert share(1.0, 4.0) == pytest.approx(0.25)
+        with pytest.raises(ConfigurationError):
+            share(1.0, 0.0)
+
+    def test_stacked_shares_sum_to_one(self):
+        shares = stacked_shares({"a": 1.0, "b": 3.0})
+        assert sum(shares.values()) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            stacked_shares({"a": 0.0})

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMAND_IDS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        assert parser.parse_args(["report"]).command == "report"
+        assert parser.parse_args(["list"]).command == "list"
+        args = parser.parse_args(["run", "fig12", "fig13"])
+        assert args.ids == ["fig12", "fig13"]
+        args = parser.parse_args(["provision", "RM5", "--gpus", "4"])
+        assert args.model == "RM5"
+        assert args.gpus == 4
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for command_id in COMMAND_IDS:
+            assert command_id in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_run_ablation(self, capsys):
+        assert main(["run", "abl-lanes"]) == 0
+        assert "lane sweep" in capsys.readouterr().out
+
+    def test_run_unknown_id(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["run", "fig99"])
+
+    def test_provision(self, capsys):
+        assert main(["provision", "RM5"]) == 0
+        out = capsys.readouterr().out
+        assert "PreSto" in out
+        assert "367" in out  # the Disagg allocation
+
+    def test_provision_lowercase(self, capsys):
+        assert main(["provision", "rm1"]) == 0
+        assert "RM1" in capsys.readouterr().out
+
+    def test_every_run_id_works(self, capsys):
+        # the cheap ones; fig11/15 style experiments are covered elsewhere
+        for command_id in ("fig3", "fig6", "table2", "abl-batch"):
+            assert main(["run", command_id]) == 0
+        assert capsys.readouterr().out
+
+
+class TestExport:
+    def test_export_selected(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["export", "--dir", str(tmp_path), "fig4", "table1"]) == 0
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["fig4.csv", "table1.csv"]
+        content = (tmp_path / "fig4.csv").read_text()
+        assert "RM5" in content and "367" in content

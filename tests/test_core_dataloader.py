@@ -1,0 +1,93 @@
+"""Tests for the epoch-level storage data loader."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataloader import StorageDataLoader
+from repro.dataio.partition import RowPartitioner
+from repro.errors import ConfigurationError
+from repro.features.specs import get_model
+from repro.features.synthetic import generate_raw_table
+from repro.storage.cluster import DistributedStorage
+from repro.storage.smartssd import SmartSsd
+from repro.storage.ssd import SsdModel
+
+
+def build_world(num_devices=2, smart=True, rows=192, per_partition=32):
+    spec = get_model("RM1")
+    data = generate_raw_table(spec, rows)
+    parts = RowPartitioner(spec.schema(), rows_per_partition=per_partition).partition_all(
+        data
+    )
+    devices = [
+        SmartSsd(f"isp{i}") if smart else SsdModel(f"ssd{i}")
+        for i in range(num_devices)
+    ]
+    storage = DistributedStorage(devices)
+    storage.store_partitions("ds", parts)
+    return spec, storage, len(parts)
+
+
+class TestEpochIteration:
+    def test_yields_every_partition_once(self):
+        spec, storage, num_parts = build_world()
+        loader = StorageDataLoader(spec, storage, "ds", num_parts, shuffle=False)
+        ids = [batch.batch_id for batch in loader.epoch()]
+        assert sorted(ids) == list(range(num_parts))
+        assert ids == list(range(num_parts))  # unshuffled: in order
+
+    def test_shuffle_changes_order_across_epochs(self):
+        spec, storage, num_parts = build_world()
+        loader = StorageDataLoader(spec, storage, "ds", num_parts, shuffle=True, seed=1)
+        first = [b.batch_id for b in loader.epoch()]
+        second = [b.batch_id for b in loader.epoch()]
+        assert sorted(first) == sorted(second)
+        assert first != second  # 6 partitions: collision chance ~1/720
+
+    def test_stats_populated(self):
+        spec, storage, num_parts = build_world()
+        loader = StorageDataLoader(spec, storage, "ds", num_parts)
+        list(loader.epoch())
+        stats = loader.last_epoch_stats
+        assert stats.batches == num_parts
+        assert stats.samples == 192
+        assert stats.bytes_read > 0
+
+    def test_locality_on_smartssds(self):
+        """Every batch is preprocessed by the device that stores it."""
+        spec, storage, num_parts = build_world(num_devices=3)
+        loader = StorageDataLoader(spec, storage, "ds", num_parts)
+        assert loader.in_storage
+        list(loader.epoch())
+        per_device = loader.last_epoch_stats.batches_per_device
+        assert set(per_device) == {"isp0", "isp1", "isp2"}
+        assert sum(per_device.values()) == num_parts
+
+    def test_plain_ssds_use_cpu_pool(self):
+        spec, storage, num_parts = build_world(smart=False)
+        loader = StorageDataLoader(spec, storage, "ds", num_parts)
+        assert not loader.in_storage
+        list(loader.epoch())
+        assert loader.last_epoch_stats.batches_per_device == {"cpu-pool": num_parts}
+
+    def test_multi_epoch_chaining(self):
+        spec, storage, num_parts = build_world()
+        loader = StorageDataLoader(spec, storage, "ds", num_parts)
+        batches = list(loader.epochs(2))
+        assert len(batches) == 2 * num_parts
+
+    def test_batches_are_valid_tensors(self):
+        spec, storage, num_parts = build_world()
+        loader = StorageDataLoader(spec, storage, "ds", num_parts)
+        for batch in loader.epoch():
+            assert batch.dense.shape[1] == spec.num_dense
+            assert not np.any(np.isnan(batch.dense))
+            batch.validate_index_range(loader.pipeline.table_sizes)
+
+    def test_validation(self):
+        spec, storage, num_parts = build_world()
+        with pytest.raises(ConfigurationError):
+            StorageDataLoader(spec, storage, "ds", 0)
+        loader = StorageDataLoader(spec, storage, "ds", num_parts)
+        with pytest.raises(ConfigurationError):
+            list(loader.epochs(0))

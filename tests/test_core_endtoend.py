@@ -1,0 +1,108 @@
+"""Tests for the preprocess manager and the end-to-end DES pipeline."""
+
+import pytest
+
+from repro.core.cpu_worker import CpuPreprocessingWorker
+from repro.core.endtoend import EndToEndSimulation
+from repro.core.isp_worker import IspPreprocessingWorker
+from repro.core.manager import PreprocessManager
+from repro.errors import ConfigurationError, ProvisioningError
+from repro.features.specs import get_model
+from repro.sim.engine import Engine
+from repro.sim.resources import Store
+
+
+class TestPreprocessManager:
+    def test_plan_matches_provision_math(self):
+        spec = get_model("RM5")
+        manager = PreprocessManager(spec, lambda: IspPreprocessingWorker(spec))
+        plan = manager.plan(training_throughput=1_000_000.0)
+        import math
+
+        expected = math.ceil(1_000_000.0 / manager.measure_worker_throughput())
+        assert plan.num_workers == expected
+
+    def test_launch_splits_batches_evenly(self):
+        spec = get_model("RM1")
+        manager = PreprocessManager(spec, lambda: IspPreprocessingWorker(spec))
+        engine = Engine()
+        queue = Store("q")
+        manager.launch(engine, queue, num_batches=10, num_workers=3)
+        engine.run()
+        assert manager.total_batches_produced == 10
+        produced = sorted(w.batches_produced for w in manager.workers)
+        assert produced == [3, 3, 4]
+
+    def test_launch_needs_target(self):
+        spec = get_model("RM1")
+        manager = PreprocessManager(spec, lambda: IspPreprocessingWorker(spec))
+        with pytest.raises(ProvisioningError):
+            manager.launch(Engine(), Store("q"), num_batches=4)
+
+    def test_launch_zero_workers_rejected(self):
+        spec = get_model("RM1")
+        manager = PreprocessManager(spec, lambda: IspPreprocessingWorker(spec))
+        with pytest.raises(ProvisioningError):
+            manager.launch(Engine(), Store("q"), num_batches=4, num_workers=0)
+
+
+class TestEndToEnd:
+    def test_provisioned_pipeline_keeps_gpu_busy(self):
+        """With ceil(T/P) workers, steady-state GPU utilization approaches 1
+        (warmup excluded by running enough batches)."""
+        spec = get_model("RM1")
+        sim = EndToEndSimulation(
+            spec, lambda: CpuPreprocessingWorker(spec), num_gpus=1
+        )
+        stats = sim.run(num_batches=300, provision_to_demand=True)
+        assert stats.gpu_utilization > 0.9
+        assert stats.num_batches == 300
+
+    def test_starved_pipeline_low_utilization(self):
+        """One CPU core cannot feed a whole GPU (the Fig. 3 problem)."""
+        spec = get_model("RM5")
+        sim = EndToEndSimulation(
+            spec, lambda: CpuPreprocessingWorker(spec), num_gpus=1
+        )
+        stats = sim.run(num_batches=10, num_workers=1)
+        assert stats.gpu_utilization < 0.1
+        assert stats.wait_time > 0
+
+    def test_presto_provisioning_feeds_8_gpus(self):
+        spec = get_model("RM5")
+        sim = EndToEndSimulation(
+            spec, lambda: IspPreprocessingWorker(spec), num_gpus=8
+        )
+        stats = sim.run(num_batches=400, provision_to_demand=True)
+        assert stats.num_workers == 9  # the Fig. 14 allocation
+        assert stats.gpu_utilization > 0.85
+
+    def test_more_workers_higher_throughput(self):
+        spec = get_model("RM5")
+        sim = EndToEndSimulation(
+            spec, lambda: CpuPreprocessingWorker(spec), num_gpus=1
+        )
+        few = sim.run(num_batches=40, num_workers=4)
+        sim2 = EndToEndSimulation(
+            spec, lambda: CpuPreprocessingWorker(spec), num_gpus=1
+        )
+        many = sim2.run(num_batches=40, num_workers=16)
+        assert many.training_throughput > 2 * few.training_throughput
+
+    def test_invalid_runs(self):
+        spec = get_model("RM1")
+        sim = EndToEndSimulation(spec, lambda: CpuPreprocessingWorker(spec))
+        with pytest.raises(ConfigurationError):
+            sim.run(num_batches=0, num_workers=1)
+        with pytest.raises(ConfigurationError):
+            sim.run(num_batches=5)
+
+    def test_stats_consistency(self):
+        spec = get_model("RM1")
+        sim = EndToEndSimulation(
+            spec, lambda: CpuPreprocessingWorker(spec), num_gpus=1
+        )
+        stats = sim.run(num_batches=50, num_workers=8)
+        assert stats.wall_time > 0
+        assert stats.training_time <= stats.wall_time
+        assert 0.0 <= stats.gpu_utilization <= 1.0

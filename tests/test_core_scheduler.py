@@ -1,0 +1,106 @@
+"""Tests for the fleet-level preprocessing scheduler."""
+
+import pytest
+
+from repro.core.scheduler import FleetScheduler, TrainingJob
+from repro.core.systems import DisaggCpuSystem, PreStoSystem
+from repro.errors import ConfigurationError, ProvisioningError
+from repro.features.specs import get_model
+
+
+def presto_factory(spec):
+    return PreStoSystem(spec)
+
+
+def disagg_factory(spec):
+    return DisaggCpuSystem(spec)
+
+
+def jobs(*entries):
+    return [
+        TrainingJob(job_id=f"j{i}", spec=get_model(model), num_gpus=gpus)
+        for i, (model, gpus) in enumerate(entries)
+    ]
+
+
+class TestTrainingJob:
+    def test_valid(self):
+        job = TrainingJob("a", get_model("RM1"), num_gpus=4)
+        assert job.num_gpus == 4
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainingJob("a", get_model("RM1"), num_gpus=0)
+
+
+class TestScheduling:
+    def test_admits_all_with_room(self):
+        mix = jobs(("RM5", 8), ("RM1", 8))
+        scheduler = FleetScheduler(presto_factory, pool_capacity=100)
+        report = scheduler.schedule(mix)
+        assert len(report.admitted_jobs) == 2
+        assert report.rejected_jobs == []
+        assert report.workers_used == 9 + 3  # Fig. 14 allocations
+
+    def test_rejects_when_full(self):
+        mix = jobs(("RM5", 8), ("RM5", 8))
+        scheduler = FleetScheduler(presto_factory, pool_capacity=10)
+        report = scheduler.schedule(mix)
+        assert len(report.admitted_jobs) == 1
+        assert len(report.rejected_jobs) == 1
+        assert "workers" in report.rejected_jobs[0].reason
+
+    def test_first_fit_order(self):
+        """A later small job is admitted after a big one is rejected."""
+        mix = jobs(("RM5", 8), ("RM5", 8), ("RM1", 8))
+        scheduler = FleetScheduler(presto_factory, pool_capacity=13)
+        report = scheduler.schedule(mix)
+        admitted = [a.job.job_id for a in report.admitted_jobs]
+        assert admitted == ["j0", "j2"]  # j1 didn't fit, j2 (3 units) did
+
+    def test_utilization_and_demand(self):
+        mix = jobs(("RM5", 8))
+        scheduler = FleetScheduler(presto_factory, pool_capacity=18)
+        report = scheduler.schedule(mix)
+        assert report.utilization == pytest.approx(9 / 18)
+        assert report.admitted_gpu_demand > 1e6
+
+    def test_power_and_capex_accounted(self):
+        mix = jobs(("RM5", 8))
+        report = FleetScheduler(presto_factory, pool_capacity=20).schedule(mix)
+        assert report.power_watts == pytest.approx(9 * 16.0 + 150.0)
+        assert report.capex == pytest.approx(9 * 2500 + 3000)
+
+    def test_gpu_count_scales_allocation(self):
+        small = FleetScheduler(presto_factory, 100).schedule(jobs(("RM5", 1)))
+        big = FleetScheduler(presto_factory, 100).schedule(jobs(("RM5", 8)))
+        assert big.workers_used > small.workers_used
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ProvisioningError):
+            FleetScheduler(presto_factory, 10).schedule([])
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FleetScheduler(presto_factory, 0)
+
+
+class TestMinPool:
+    def test_min_pool_admits_everything(self):
+        mix = jobs(("RM5", 8), ("RM2", 8), ("RM1", 8))
+        scheduler = FleetScheduler(disagg_factory, pool_capacity=1)
+        pool = scheduler.min_pool_for(mix)
+        report = FleetScheduler(disagg_factory, pool_capacity=pool).schedule(mix)
+        assert report.rejected_jobs == []
+        assert report.workers_used == pool
+
+    def test_one_less_rejects(self):
+        mix = jobs(("RM5", 8), ("RM1", 8))
+        scheduler = FleetScheduler(disagg_factory, pool_capacity=1)
+        pool = scheduler.min_pool_for(mix)
+        report = FleetScheduler(disagg_factory, pool_capacity=pool - 1).schedule(mix)
+        assert len(report.rejected_jobs) == 1
+
+    def test_min_pool_empty_rejected(self):
+        with pytest.raises(ProvisioningError):
+            FleetScheduler(disagg_factory, 10).min_pool_for([])

@@ -1,0 +1,143 @@
+"""Tests for the system design points and provisioning."""
+
+import pytest
+
+from repro.core.provision import ProvisioningPlan, provision, workers_for
+from repro.core.systems import (
+    ALL_SYSTEM_FACTORIES,
+    A100PoolSystem,
+    CoLocatedCpuSystem,
+    DisaggCpuSystem,
+    PreStoSystem,
+    PreStoU280System,
+    U280PoolSystem,
+)
+from repro.errors import ConfigurationError, ProvisioningError
+from repro.features.specs import get_model
+
+
+class TestProvisioning:
+    def test_workers_for_ceiling(self):
+        assert workers_for(100.0, 30.0) == 4
+        assert workers_for(90.0, 30.0) == 3
+        assert workers_for(0.0, 30.0) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ProvisioningError):
+            workers_for(10.0, 0.0)
+        with pytest.raises(ProvisioningError):
+            workers_for(-1.0, 10.0)
+
+    def test_plan_headroom_at_least_one(self):
+        plan = provision(get_model("RM5"), worker_throughput=50_000.0, num_gpus=8)
+        assert plan.headroom >= 1.0
+        assert plan.aggregate_preprocessing_throughput >= plan.training_throughput
+
+    def test_plan_fields(self):
+        plan = ProvisioningPlan("RM1", 100.0, 30.0, 4)
+        assert plan.aggregate_preprocessing_throughput == pytest.approx(120.0)
+        assert plan.headroom == pytest.approx(1.2)
+
+
+class TestSystemContracts:
+    @pytest.mark.parametrize("name", list(ALL_SYSTEM_FACTORIES))
+    def test_common_interface(self, name):
+        system = ALL_SYSTEM_FACTORIES[name](get_model("RM2"))
+        assert system.worker_throughput() > 0
+        assert system.power(2) > 0
+        assert system.capex(2) >= 0
+
+    def test_linear_scaling_default(self):
+        system = DisaggCpuSystem(get_model("RM3"))
+        assert system.aggregate_throughput(10) == pytest.approx(
+            10 * system.worker_throughput()
+        )
+        with pytest.raises(ConfigurationError):
+            system.aggregate_throughput(-1)
+
+
+class TestDisaggCpu:
+    def test_provision_rm5_367(self):
+        plan = DisaggCpuSystem(get_model("RM5")).provision_for(8)
+        assert plan.num_workers == 367
+
+    def test_nodes(self):
+        system = DisaggCpuSystem(get_model("RM5"))
+        assert system.nodes(367) == 12
+
+    def test_cost_per_core(self):
+        system = DisaggCpuSystem(get_model("RM1"))
+        assert system.capex(64) == pytest.approx(64 * 12_000 / 32)
+
+
+class TestCoLocated:
+    def test_core_cap_enforced(self):
+        system = CoLocatedCpuSystem(get_model("RM5"))
+        with pytest.raises(ConfigurationError, match="caps at 16"):
+            system.aggregate_throughput(17)
+
+    def test_sublinear_scaling(self):
+        system = CoLocatedCpuSystem(get_model("RM5"))
+        assert system.aggregate_throughput(16) < 16 * system.aggregate_throughput(1)
+
+    def test_no_capex(self):
+        assert CoLocatedCpuSystem(get_model("RM1")).capex(16) == 0.0
+
+
+class TestPreSto:
+    def test_provision_max_nine_units(self):
+        from repro.features.specs import all_models
+
+        units = [
+            PreStoSystem(spec).provision_for(8).num_workers for spec in all_models()
+        ]
+        assert max(units) == 9
+
+    def test_single_device_beats_32_cores(self):
+        for name in ("RM1", "RM3", "RM5"):
+            spec = get_model(name)
+            presto = PreStoSystem(spec).worker_throughput()
+            disagg32 = DisaggCpuSystem(spec).aggregate_throughput(32)
+            assert presto > disagg32
+
+    def test_worst_case_power(self):
+        system = PreStoSystem(get_model("RM5"))
+        assert system.power(9, worst_case=True) == pytest.approx(225.0)
+
+    def test_capex_includes_host_share(self):
+        system = PreStoSystem(get_model("RM5"))
+        assert system.capex(9) == pytest.approx(9 * 2500 + 3000)
+
+
+class TestAlternatives:
+    def test_presto_faster_than_a100(self):
+        spec = get_model("RM5")
+        assert (
+            PreStoSystem(spec).worker_throughput()
+            > 2.0 * A100PoolSystem(spec).worker_throughput()
+        )
+
+    def test_u280_slightly_faster_than_smartssd(self):
+        spec = get_model("RM5")
+        ratio = (
+            U280PoolSystem(spec).worker_throughput()
+            / PreStoSystem(spec).worker_throughput()
+        )
+        assert 1.0 < ratio < 1.35
+
+    def test_presto_u280_at_least_u280_pool(self):
+        spec = get_model("RM5")
+        assert (
+            PreStoU280System(spec).worker_throughput()
+            >= U280PoolSystem(spec).worker_throughput() * 0.99
+        )
+
+    def test_smartssd_best_perf_per_watt(self):
+        spec = get_model("RM5")
+        designs = {
+            "presto": (PreStoSystem(spec).worker_throughput(), 16.0),
+            "a100": (A100PoolSystem(spec).worker_throughput(), 100.0),
+            "u280": (U280PoolSystem(spec).worker_throughput(), 46.0),
+        }
+        per_watt = {k: t / p for k, (t, p) in designs.items()}
+        assert per_watt["presto"] == max(per_watt.values())

@@ -1,0 +1,166 @@
+"""Tests for the worker abstractions and each worker technology."""
+
+import numpy as np
+import pytest
+
+from repro.core.accel_worker import GpuPoolWorker, PreStoU280Worker, U280PoolWorker
+from repro.core.cpu_worker import CpuPreprocessingWorker
+from repro.core.isp_worker import IspPreprocessingWorker
+from repro.core.worker import BREAKDOWN_STEPS, breakdown_total, normalize_breakdown
+from repro.dataio.partition import RowPartitioner
+from repro.errors import ConfigurationError
+from repro.features.specs import get_model
+from repro.features.synthetic import generate_raw_table
+from repro.sim.engine import Engine
+from repro.sim.resources import Store
+
+
+@pytest.fixture(scope="module")
+def rm1_partition():
+    spec = get_model("RM1")
+    data = generate_raw_table(spec, 64)
+    parts = RowPartitioner(spec.schema(), rows_per_partition=64).partition_all(data)
+    return spec, parts[0]
+
+
+class TestBreakdownHelpers:
+    def test_normalize(self):
+        breakdown = {step: 1.0 for step in BREAKDOWN_STEPS}
+        normalized = normalize_breakdown(breakdown, 4.0)
+        assert normalized["load"] == pytest.approx(0.25)
+
+    def test_normalize_bad_reference(self):
+        with pytest.raises(ConfigurationError):
+            normalize_breakdown({}, 0.0)
+
+    def test_total(self):
+        assert breakdown_total({s: 2.0 for s in BREAKDOWN_STEPS}) == pytest.approx(
+            2.0 * len(BREAKDOWN_STEPS)
+        )
+
+
+class TestWorkerContracts:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: CpuPreprocessingWorker(s),
+            lambda s: IspPreprocessingWorker(s),
+            lambda s: GpuPoolWorker(s),
+            lambda s: U280PoolWorker(s),
+            lambda s: PreStoU280Worker(s),
+        ],
+        ids=["cpu", "isp", "a100", "u280", "presto-u280"],
+    )
+    def test_breakdown_covers_canonical_steps(self, factory):
+        worker = factory(get_model("RM2"))
+        breakdown = worker.batch_breakdown()
+        assert set(BREAKDOWN_STEPS) <= set(breakdown)
+        assert worker.batch_latency() == pytest.approx(
+            sum(breakdown[s] for s in BREAKDOWN_STEPS)
+        )
+        assert worker.throughput() > 0
+        assert worker.batch_interval() > 0
+
+    def test_cpu_serial_interval_equals_latency(self):
+        worker = CpuPreprocessingWorker(get_model("RM3"))
+        assert worker.batch_interval() == pytest.approx(worker.batch_latency())
+
+    def test_isp_pipelined_interval_below_latency(self):
+        worker = IspPreprocessingWorker(get_model("RM3"))
+        assert worker.batch_interval() < worker.batch_latency()
+
+
+class TestFunctionalEquivalence:
+    def test_cpu_and_isp_produce_identical_tensors(self, rm1_partition):
+        """The FPGA kernels are functionally transparent: PreSto's
+        mini-batch must be bit-identical to the CPU baseline's."""
+        spec, part = rm1_partition
+        cpu_batch, _ = CpuPreprocessingWorker(spec).preprocess_partition(
+            part.file_bytes
+        )
+        isp_batch, _ = IspPreprocessingWorker(spec).preprocess_partition(
+            part.file_bytes
+        )
+        np.testing.assert_array_equal(cpu_batch.dense, isp_batch.dense)
+        np.testing.assert_array_equal(cpu_batch.sparse.values, isp_batch.sparse.values)
+        np.testing.assert_array_equal(
+            cpu_batch.sparse.lengths, isp_batch.sparse.lengths
+        )
+        np.testing.assert_array_equal(cpu_batch.labels, isp_batch.labels)
+
+    def test_functional_batch_valid(self, rm1_partition):
+        spec, part = rm1_partition
+        worker = CpuPreprocessingWorker(spec)
+        batch, counts = worker.preprocess_partition(part.file_bytes, batch_id=3)
+        assert batch.batch_id == 3
+        assert batch.batch_size == 64
+        batch.validate_index_range(worker.pipeline.table_sizes)
+        assert counts.rows == 64
+
+
+class TestDesProduction:
+    def test_produces_exact_count(self):
+        spec = get_model("RM1")
+        worker = IspPreprocessingWorker(spec)
+        engine = Engine()
+        queue = Store("q")
+        engine.spawn("w", worker.produce(engine, queue, 5))
+        engine.run()
+        assert worker.batches_produced == 5
+        assert queue.total_put == 5
+
+    def test_first_batch_at_latency(self):
+        spec = get_model("RM1")
+        worker = CpuPreprocessingWorker(spec)
+        engine = Engine()
+        queue = Store("q")
+        arrival = []
+
+        def consumer():
+            yield queue.get()
+            arrival.append(engine.now)
+
+        engine.spawn("w", worker.produce(engine, queue, 1))
+        engine.spawn("c", consumer())
+        engine.run()
+        assert arrival[0] == pytest.approx(worker.batch_latency())
+
+    def test_steady_state_rate(self):
+        spec = get_model("RM1")
+        worker = IspPreprocessingWorker(spec)
+        engine = Engine()
+        queue = Store("q")
+        engine.spawn("w", worker.produce(engine, queue, 10))
+        engine.run()
+        expected = worker.batch_latency() + 9 * worker.batch_interval()
+        assert engine.now == pytest.approx(expected)
+
+    def test_negative_batches_rejected(self):
+        spec = get_model("RM1")
+        worker = CpuPreprocessingWorker(spec)
+        engine = Engine()
+        queue = Store("q")
+        engine.spawn("w", worker.produce(engine, queue, -1))
+        with pytest.raises(ConfigurationError):
+            engine.run()
+
+
+class TestLocalityEnforcement:
+    def test_isp_refuses_remote_partition(self):
+        from repro.storage.cluster import DistributedStorage
+        from repro.storage.smartssd import SmartSsd
+
+        spec = get_model("RM1")
+        data = generate_raw_table(spec, 64)
+        parts = RowPartitioner(spec.schema(), rows_per_partition=32).partition_all(
+            data
+        )
+        devices = [SmartSsd("isp0"), SmartSsd("isp1")]
+        storage = DistributedStorage(devices)
+        storage.store_partitions("ds", parts)
+
+        worker0 = IspPreprocessingWorker(spec, device=devices[0])
+        batch, _ = worker0.preprocess_local("ds", 0, storage)  # local: fine
+        assert batch.batch_size == 32
+        with pytest.raises(ConfigurationError, match="not local"):
+            worker0.preprocess_local("ds", 1, storage)  # lives on isp1

@@ -1,0 +1,164 @@
+"""Tests for the columnar file format: round trips, selective reads,
+row groups, corruption handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataio.columnar import (
+    ColumnarFileReader,
+    ColumnarFileWriter,
+    write_table,
+)
+from repro.dataio.schema import TableSchema
+from repro.errors import FormatError, SchemaError
+
+
+def make_table(num_rows=64, num_dense=2, num_sparse=2, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = TableSchema.with_counts(num_dense, num_sparse)
+    data = {"label": (rng.random(num_rows) < 0.5).astype(np.int8)}
+    for name in schema.dense_names:
+        data[name] = rng.random(num_rows).astype(np.float32)
+    for name in schema.sparse_names:
+        lengths = rng.integers(0, 5, num_rows).astype(np.int32)
+        values = rng.integers(0, 1 << 30, int(lengths.sum())).astype(np.int64)
+        data[name] = (lengths, values)
+    return schema, data
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self):
+        schema, data = make_table()
+        buf = write_table(schema, data, row_group_size=16)
+        reader = ColumnarFileReader(buf)
+        assert reader.num_rows == 64
+        for name in schema.dense_names:
+            np.testing.assert_array_equal(reader.read_column(name), data[name])
+        for name in schema.sparse_names:
+            lengths, values = reader.read_column(name)
+            np.testing.assert_array_equal(lengths, data[name][0])
+            np.testing.assert_array_equal(values, data[name][1])
+        np.testing.assert_array_equal(reader.read_column("label"), data["label"])
+
+    def test_row_group_boundary_not_multiple(self):
+        schema, data = make_table(num_rows=50)
+        buf = write_table(schema, data, row_group_size=16)  # 50 = 3*16 + 2
+        reader = ColumnarFileReader(buf)
+        assert reader.footer.row_group_rows == [16, 16, 16, 2]
+        np.testing.assert_array_equal(reader.read_column("int_0"), data["int_0"])
+
+    def test_single_row_table(self):
+        schema, data = make_table(num_rows=1)
+        reader = ColumnarFileReader(write_table(schema, data))
+        assert reader.num_rows == 1
+
+    def test_sparse_with_all_empty_rows(self):
+        schema = TableSchema.with_counts(1, 1)
+        data = {
+            "label": np.zeros(4, dtype=np.int8),
+            "int_0": np.zeros(4, dtype=np.float32),
+            "cat_0": (np.zeros(4, dtype=np.int32), np.array([], dtype=np.int64)),
+        }
+        reader = ColumnarFileReader(write_table(schema, data))
+        lengths, values = reader.read_column("cat_0")
+        assert lengths.tolist() == [0, 0, 0, 0]
+        assert len(values) == 0
+
+
+class TestSelectiveReads:
+    def test_reads_only_requested_columns(self):
+        schema, data = make_table(num_dense=4, num_sparse=4)
+        buf = write_table(schema, data)
+        reader = ColumnarFileReader(buf)
+        reader.read_columns(["int_0", "cat_0"])
+        partial = reader.bytes_read
+
+        full_reader = ColumnarFileReader(buf)
+        full_reader.read_columns(
+            ["label"] + schema.dense_names + schema.sparse_names
+        )
+        assert partial < full_reader.bytes_read
+
+    def test_bytes_read_matches_footer(self):
+        schema, data = make_table()
+        reader = ColumnarFileReader(write_table(schema, data))
+        reader.read_column("int_1")
+        assert reader.bytes_read == reader.footer.column_bytes("int_1")
+
+    def test_read_row_group(self):
+        schema, data = make_table(num_rows=40)
+        reader = ColumnarFileReader(write_table(schema, data, row_group_size=10))
+        group = reader.read_row_group(2, ["int_0", "cat_0", "label"])
+        np.testing.assert_array_equal(group["int_0"], data["int_0"][20:30])
+        np.testing.assert_array_equal(group["label"], data["label"][20:30])
+        lengths, values = group["cat_0"]
+        np.testing.assert_array_equal(lengths, data["cat_0"][0][20:30])
+
+    def test_row_group_out_of_range(self):
+        schema, data = make_table()
+        reader = ColumnarFileReader(write_table(schema, data))
+        with pytest.raises(FormatError, match="out of range"):
+            reader.read_row_group(99, ["int_0"])
+
+    def test_unknown_column(self):
+        schema, data = make_table()
+        reader = ColumnarFileReader(write_table(schema, data))
+        with pytest.raises(FormatError):
+            reader.read_column("does_not_exist")
+
+
+class TestWriterValidation:
+    def test_missing_column_rejected(self):
+        schema, data = make_table()
+        del data["int_0"]
+        with pytest.raises(SchemaError, match="int_0"):
+            write_table(schema, data)
+
+    def test_bad_row_group_size(self):
+        schema, _ = make_table()
+        with pytest.raises(FormatError):
+            ColumnarFileWriter(schema, row_group_size=0)
+
+    def test_inconsistent_lengths_rejected(self):
+        schema, data = make_table()
+        lengths, values = data["cat_0"]
+        data["cat_0"] = (lengths, values[:-1])
+        with pytest.raises(SchemaError):
+            write_table(schema, data)
+
+
+class TestFileLevelErrors:
+    def test_bad_magic(self):
+        with pytest.raises(FormatError, match="magic"):
+            ColumnarFileReader(b"NOTAFILE" * 10)
+
+    def test_too_small(self):
+        with pytest.raises(FormatError, match="too small"):
+            ColumnarFileReader(b"x")
+
+    def test_truncated_footer(self):
+        schema, data = make_table()
+        buf = write_table(schema, data)
+        with pytest.raises(FormatError):
+            ColumnarFileReader(buf[: len(buf) // 2] + buf[-10:])
+
+
+class TestPropertyRoundTrip:
+    @given(
+        num_rows=st.integers(min_value=1, max_value=120),
+        row_group=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_shape_roundtrips(self, num_rows, row_group, seed):
+        schema, data = make_table(num_rows=num_rows, seed=seed)
+        reader = ColumnarFileReader(
+            write_table(schema, data, row_group_size=row_group)
+        )
+        assert reader.num_rows == num_rows
+        np.testing.assert_array_equal(reader.read_column("int_0"), data["int_0"])
+        lengths, values = reader.read_column("cat_1")
+        np.testing.assert_array_equal(lengths, data["cat_1"][0])
+        np.testing.assert_array_equal(values, data["cat_1"][1])

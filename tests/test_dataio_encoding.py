@@ -1,0 +1,152 @@
+"""Unit and property tests for the column-chunk encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataio.encoding import (
+    Encoding,
+    best_encoding,
+    decode_column,
+    encode_column,
+    encoded_size,
+    read_uvarint,
+    write_uvarint,
+)
+from repro.errors import EncodingError
+
+
+class TestVarintPrimitives:
+    def test_roundtrip_small(self):
+        buf = bytearray()
+        write_uvarint(0, buf)
+        write_uvarint(127, buf)
+        write_uvarint(128, buf)
+        value, offset = read_uvarint(bytes(buf), 0)
+        assert value == 0
+        value, offset = read_uvarint(bytes(buf), offset)
+        assert value == 127
+        value, offset = read_uvarint(bytes(buf), offset)
+        assert value == 128
+        assert offset == len(buf)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            write_uvarint(-1, bytearray())
+
+    def test_truncated_varint(self):
+        with pytest.raises(EncodingError):
+            read_uvarint(b"\x80", 0)
+
+    def test_overlong_varint(self):
+        with pytest.raises(EncodingError):
+            read_uvarint(b"\x80" * 11 + b"\x01", 0)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip_property(self, value):
+        buf = bytearray()
+        write_uvarint(value, buf)
+        decoded, offset = read_uvarint(bytes(buf), 0)
+        assert decoded == value
+        assert offset == len(buf)
+
+
+class TestCodecRoundtrips:
+    @pytest.mark.parametrize("encoding", list(Encoding))
+    def test_int64_roundtrip(self, encoding):
+        values = np.array([0, 1, -5, 1 << 40, -(1 << 40), 7, 7, 7], dtype=np.int64)
+        decoded = decode_column(encode_column(values, encoding))
+        np.testing.assert_array_equal(decoded, values)
+        assert decoded.dtype == np.int64
+
+    def test_plain_float32(self):
+        values = np.array([1.5, -2.25, np.nan, 0.0], dtype=np.float32)
+        decoded = decode_column(encode_column(values, Encoding.PLAIN))
+        np.testing.assert_array_equal(
+            np.nan_to_num(decoded, nan=-1), np.nan_to_num(values, nan=-1)
+        )
+
+    def test_empty_column(self):
+        for encoding in Encoding:
+            values = np.array([], dtype=np.int64)
+            decoded = decode_column(encode_column(values, encoding))
+            assert len(decoded) == 0
+
+    def test_int8_labels_rle(self):
+        labels = np.array([0] * 100 + [1] * 3 + [0] * 50, dtype=np.int8)
+        chunk = encode_column(labels, Encoding.RLE)
+        assert len(chunk) < labels.nbytes  # RLE actually compresses runs
+        np.testing.assert_array_equal(decode_column(chunk), labels)
+
+    def test_varint_compresses_small_ids(self):
+        values = np.arange(1000, dtype=np.int64) % 100
+        assert encoded_size(values, Encoding.VARINT) < encoded_size(
+            values, Encoding.PLAIN
+        )
+
+    def test_dictionary_compresses_low_cardinality(self):
+        values = np.array([123456789] * 500 + [987654321] * 500, dtype=np.int64)
+        assert encoded_size(values, Encoding.DICTIONARY) < encoded_size(
+            values, Encoding.PLAIN
+        )
+
+    @given(
+        st.lists(st.integers(min_value=-(2**62), max_value=2**62), max_size=200),
+        st.sampled_from(list(Encoding)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values, encoding):
+        column = np.array(values, dtype=np.int64)
+        decoded = decode_column(encode_column(column, encoding))
+        np.testing.assert_array_equal(decoded, column)
+
+
+class TestFramingAndErrors:
+    def test_crc_detects_corruption(self):
+        chunk = bytearray(encode_column(np.arange(100, dtype=np.int64), Encoding.PLAIN))
+        chunk[10] ^= 0xFF
+        with pytest.raises(EncodingError, match="CRC"):
+            decode_column(bytes(chunk))
+
+    def test_too_short_chunk(self):
+        with pytest.raises(EncodingError, match="too short"):
+            decode_column(b"\x00\x01")
+
+    def test_unknown_encoding_byte(self):
+        chunk = bytearray(encode_column(np.arange(4, dtype=np.int64), Encoding.PLAIN))
+        # flip the codec byte and fix the CRC by re-encoding manually
+        import struct
+        import zlib
+
+        body = bytes([99]) + bytes(chunk[1:-4])
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        with pytest.raises(EncodingError, match="unknown encoding"):
+            decode_column(body + struct.pack("<I", crc))
+
+    def test_non_integer_rle_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_column(np.zeros(4, dtype=np.float32), Encoding.RLE)
+
+    def test_2d_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_column(np.zeros((2, 2), dtype=np.int64), Encoding.PLAIN)
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(EncodingError):
+            encode_column(np.zeros(4, dtype=np.uint16), Encoding.PLAIN)
+
+
+class TestBestEncoding:
+    def test_floats_are_plain(self):
+        assert best_encoding(np.zeros(16, dtype=np.float32)) is Encoding.PLAIN
+
+    def test_runs_pick_rle(self):
+        values = np.zeros(10_000, dtype=np.int64)
+        assert best_encoding(values) is Encoding.RLE
+
+    def test_best_is_minimal(self):
+        values = np.arange(500, dtype=np.int64)
+        chosen = best_encoding(values)
+        sizes = {enc: encoded_size(values, enc) for enc in Encoding}
+        assert sizes[chosen] == min(sizes.values())

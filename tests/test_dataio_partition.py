@@ -1,0 +1,92 @@
+"""Tests for row partitioning and placement."""
+
+import numpy as np
+import pytest
+
+from repro.dataio.columnar import ColumnarFileReader
+from repro.dataio.partition import (
+    Partition,
+    RowPartitioner,
+    partition_stats,
+    place_round_robin,
+)
+from repro.errors import PartitionError
+from repro.features.specs import get_model
+from repro.features.synthetic import generate_raw_table
+
+
+@pytest.fixture(scope="module")
+def rm1_table():
+    spec = get_model("RM1")
+    return spec, generate_raw_table(spec, 100)
+
+
+class TestRowPartitioner:
+    def test_partition_row_ranges(self, rm1_table):
+        spec, data = rm1_table
+        parts = RowPartitioner(spec.schema(), rows_per_partition=32).partition_all(data)
+        assert [p.num_rows for p in parts] == [32, 32, 32, 4]
+        assert parts[0].row_start == 0
+        assert parts[-1].row_stop == 100
+        assert [p.index for p in parts] == [0, 1, 2, 3]
+
+    def test_each_partition_is_valid_file(self, rm1_table):
+        spec, data = rm1_table
+        parts = RowPartitioner(spec.schema(), rows_per_partition=40).partition_all(data)
+        for part in parts:
+            reader = ColumnarFileReader(part.file_bytes)
+            assert reader.num_rows == part.num_rows
+
+    def test_partitions_reassemble_original(self, rm1_table):
+        spec, data = rm1_table
+        parts = RowPartitioner(spec.schema(), rows_per_partition=33).partition_all(data)
+        dense_chunks = [
+            ColumnarFileReader(p.file_bytes).read_column("int_0") for p in parts
+        ]
+        np.testing.assert_array_equal(np.concatenate(dense_chunks), data["int_0"])
+        sparse_values = [
+            ColumnarFileReader(p.file_bytes).read_column("cat_3")[1] for p in parts
+        ]
+        np.testing.assert_array_equal(
+            np.concatenate(sparse_values), data["cat_3"][1]
+        )
+
+    def test_empty_table_rejected(self, rm1_table):
+        spec, data = rm1_table
+        empty = {k: (v[0][:0], v[1][:0]) if isinstance(v, tuple) else v[:0]
+                 for k, v in data.items()}
+        with pytest.raises(PartitionError, match="empty"):
+            RowPartitioner(spec.schema()).partition_all(empty)
+
+    def test_bad_partition_size(self, rm1_table):
+        spec, _ = rm1_table
+        with pytest.raises(PartitionError):
+            RowPartitioner(spec.schema(), rows_per_partition=0)
+
+
+class TestPlacement:
+    def _parts(self, n):
+        return [
+            Partition(index=i, row_start=i * 10, row_stop=(i + 1) * 10, file_bytes=b"x")
+            for i in range(n)
+        ]
+
+    def test_round_robin_spread(self):
+        placement = place_round_robin(self._parts(7), 3)
+        assert [p.index for p in placement[0]] == [0, 3, 6]
+        assert [p.index for p in placement[1]] == [1, 4]
+        assert [p.index for p in placement[2]] == [2, 5]
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(PartitionError):
+            place_round_robin(self._parts(2), 0)
+
+    def test_stats(self):
+        total_rows, total_bytes, mean = partition_stats(self._parts(4))
+        assert total_rows == 40
+        assert total_bytes == 4
+        assert mean == pytest.approx(0.1)
+
+    def test_stats_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_stats([])

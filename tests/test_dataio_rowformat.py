@@ -1,0 +1,103 @@
+"""Tests for the row-oriented file format (the overfetch strawman)."""
+
+import numpy as np
+import pytest
+
+from repro.dataio.columnar import ColumnarFileReader, write_table
+from repro.dataio.rowformat import RowFileReader, write_row_table
+from repro.dataio.schema import TableSchema
+from repro.errors import FormatError, SchemaError
+from repro.features.specs import get_model
+from repro.features.synthetic import generate_raw_table
+
+
+def make_table(num_rows=40, seed=3):
+    rng = np.random.default_rng(seed)
+    schema = TableSchema.with_counts(3, 2)
+    data = {"label": (rng.random(num_rows) < 0.5).astype(np.int8)}
+    for name in schema.dense_names:
+        column = rng.random(num_rows).astype(np.float32)
+        column[rng.random(num_rows) < 0.1] = np.nan
+        data[name] = column
+    for name in schema.sparse_names:
+        lengths = rng.integers(0, 4, num_rows).astype(np.int32)
+        values = rng.integers(0, 1 << 40, int(lengths.sum())).astype(np.int64)
+        data[name] = (lengths, values)
+    return schema, data
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self):
+        schema, data = make_table()
+        reader = RowFileReader(write_row_table(schema, data))
+        out = reader.read_columns(
+            ["label"] + schema.dense_names + schema.sparse_names
+        )
+        np.testing.assert_array_equal(out["label"], data["label"])
+        for name in schema.dense_names:
+            np.testing.assert_array_equal(
+                np.nan_to_num(out[name], nan=-1.0),
+                np.nan_to_num(data[name], nan=-1.0),
+            )
+        for name in schema.sparse_names:
+            np.testing.assert_array_equal(out[name][0], data[name][0])
+            np.testing.assert_array_equal(out[name][1], data[name][1])
+
+    def test_agrees_with_columnar(self):
+        spec = get_model("RM1")
+        data = generate_raw_table(spec, 64)
+        schema = spec.schema()
+        row_reader = RowFileReader(write_row_table(schema, data))
+        col_reader = ColumnarFileReader(write_table(schema, data))
+        wanted = ["label", "int_0", "cat_0"]
+        row_out = row_reader.read_columns(wanted)
+        col_out = col_reader.read_columns(wanted)
+        np.testing.assert_array_equal(
+            np.nan_to_num(row_out["int_0"]), np.nan_to_num(col_out["int_0"])
+        )
+        np.testing.assert_array_equal(row_out["cat_0"][1], col_out["cat_0"][1])
+
+
+class TestOverfetch:
+    def test_scan_cost_independent_of_subset(self):
+        schema, data = make_table()
+        buf = write_row_table(schema, data)
+        one = RowFileReader(buf)
+        one.read_columns(["int_0"])
+        everything = RowFileReader(buf)
+        everything.read_columns(
+            ["label"] + schema.dense_names + schema.sparse_names
+        )
+        assert one.bytes_scanned == everything.bytes_scanned
+
+    def test_columnar_beats_row_for_subsets(self):
+        spec = get_model("RM1")
+        data = generate_raw_table(spec, 128)
+        schema = spec.schema()
+        row = RowFileReader(write_row_table(schema, data))
+        col = ColumnarFileReader(write_table(schema, data))
+        row.read_columns(["int_0"])
+        col.read_columns(["int_0"])
+        assert col.bytes_read < row.bytes_scanned / 10
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(FormatError, match="row-format"):
+            RowFileReader(b"nope" * 20)
+
+    def test_unknown_column(self):
+        schema, data = make_table()
+        reader = RowFileReader(write_row_table(schema, data))
+        with pytest.raises(FormatError, match="unknown columns"):
+            reader.read_columns(["ghost"])
+
+    def test_missing_column_on_write(self):
+        schema, data = make_table()
+        del data["int_1"]
+        with pytest.raises(SchemaError, match="int_1"):
+            write_row_table(schema, data)
+
+    def test_num_rows_in_footer(self):
+        schema, data = make_table(num_rows=17)
+        assert RowFileReader(write_row_table(schema, data)).num_rows == 17

@@ -1,0 +1,56 @@
+"""Tests for the experiment-harness plumbing (claims, tables, report)."""
+
+import pytest
+
+from repro.experiments.common import PaperClaim, format_table, model_names, models
+from repro.experiments.report import ABLATIONS, EXPERIMENTS
+from repro.cli import COMMAND_IDS
+
+
+class TestPaperClaim:
+    def test_exact_match_holds(self):
+        assert PaperClaim("x", 10.0, 10.0).holds
+        assert PaperClaim("x", 10.0, 10.0).relative_error == 0.0
+
+    def test_tolerance_boundary(self):
+        assert PaperClaim("x", 10.0, 13.5, tolerance=0.35).holds
+        assert not PaperClaim("x", 10.0, 13.6, tolerance=0.35).holds
+
+    def test_zero_paper_value(self):
+        claim = PaperClaim("x", 0.0, 0.5, tolerance=0.4)
+        assert claim.relative_error == 0.5
+        assert not claim.holds
+        assert PaperClaim("x", 0.0, 0.0).holds
+
+    def test_render_marks_status(self):
+        assert "[OK ]" in PaperClaim("x", 1.0, 1.0).render()
+        assert "[OFF]" in PaperClaim("x", 1.0, 99.0).render()
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (30, 4000.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "4,000" in text  # thousands separator for big floats
+
+    def test_handles_strings_and_zero(self):
+        text = format_table(["x"], [("hello",), (0.0,)])
+        assert "hello" in text
+        assert "0" in text
+
+
+class TestHarnessConsistency:
+    def test_models_order(self):
+        assert model_names() == ["RM1", "RM2", "RM3", "RM4", "RM5"]
+        assert [m.name for m in models()] == model_names()
+
+    def test_cli_ids_cover_every_experiment(self):
+        """Every report entry is reachable from the CLI and vice versa."""
+        report_keys = set(EXPERIMENTS) | set(ABLATIONS)
+        cli_keys = set(COMMAND_IDS.values())
+        assert cli_keys == report_keys
+
+    def test_no_duplicate_report_keys(self):
+        assert not set(EXPERIMENTS) & set(ABLATIONS)

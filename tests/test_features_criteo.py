@@ -1,0 +1,122 @@
+"""Tests for the real Criteo TSV loader."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.features.criteo import (
+    FIELDS_PER_LINE,
+    dump_criteo_tsv,
+    load_criteo_tsv,
+    parse_line,
+)
+from repro.features.specs import get_model
+from repro.features.synthetic import generate_raw_table
+from repro.ops.pipeline import PreprocessingPipeline
+
+
+def sample_line(label=1, dense_value="5", cat="7f3b"):
+    fields = [str(label)] + [dense_value] * 13 + [cat] * 26
+    return "\t".join(fields)
+
+
+class TestParseLine:
+    def test_basic(self):
+        label, dense, sparse = parse_line(sample_line())
+        assert label == 1
+        assert dense == [5.0] * 13
+        assert sparse == [0x7F3B] * 26
+
+    def test_missing_fields(self):
+        line = "\t".join(["0"] + [""] * 13 + [""] * 26)
+        label, dense, sparse = parse_line(line)
+        assert label == 0
+        assert all(np.isnan(v) for v in dense)
+        assert sparse == [-1] * 26
+
+    def test_wrong_field_count(self):
+        with pytest.raises(FormatError, match="fields"):
+            parse_line("1\t2\t3")
+
+    def test_bad_label(self):
+        with pytest.raises(FormatError, match="label"):
+            parse_line(sample_line(label=7))
+        bad = "x" + sample_line()[1:]
+        with pytest.raises(FormatError, match="bad label"):
+            parse_line(bad)
+
+    def test_bad_dense(self):
+        line = sample_line(dense_value="notanint")
+        with pytest.raises(FormatError, match="integer feature"):
+            parse_line(line)
+
+    def test_bad_categorical(self):
+        line = sample_line(cat="zzzz")
+        with pytest.raises(FormatError, match="categorical"):
+            parse_line(line)
+
+
+class TestLoadTsv:
+    def test_load_from_lines(self):
+        lines = [sample_line(label=i % 2) for i in range(8)]
+        data = load_criteo_tsv(lines)
+        assert len(data["label"]) == 8
+        assert data["label"].tolist() == [0, 1] * 4
+        lengths, values = data["cat_0"]
+        assert lengths.tolist() == [1] * 8
+
+    def test_missing_categorical_becomes_empty_list(self):
+        line = "\t".join(["1"] + ["3"] * 13 + [""] + ["aa"] * 25)
+        data = load_criteo_tsv([line])
+        lengths, values = data["cat_0"]
+        assert lengths.tolist() == [0]
+        assert len(values) == 0
+
+    def test_max_rows(self):
+        lines = [sample_line() for _ in range(10)]
+        data = load_criteo_tsv(lines, max_rows=3)
+        assert len(data["label"]) == 3
+
+    def test_blank_lines_skipped(self):
+        data = load_criteo_tsv([sample_line(), "", "   \n", sample_line()])
+        assert len(data["label"]) == 2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(FormatError, match="no rows"):
+            load_criteo_tsv([])
+
+    def test_wrong_spec_rejected(self):
+        with pytest.raises(FormatError, match="expects"):
+            load_criteo_tsv([sample_line()], spec=get_model("RM5"))
+
+    def test_file_object(self):
+        handle = io.StringIO(sample_line() + "\n" + sample_line() + "\n")
+        data = load_criteo_tsv(handle)
+        assert len(data["label"]) == 2
+
+
+class TestRoundTrip:
+    def test_dump_then_load(self):
+        """Synthetic RM1 data survives TSV round trip (dense ints only)."""
+        spec = get_model("RM1")
+        original = generate_raw_table(spec, 32)
+        reloaded = load_criteo_tsv(io.StringIO(dump_criteo_tsv(original)))
+        np.testing.assert_array_equal(reloaded["label"], original["label"])
+        np.testing.assert_array_equal(
+            np.nan_to_num(reloaded["int_2"], nan=-1),
+            np.nan_to_num(original["int_2"], nan=-1),
+        )
+        np.testing.assert_array_equal(reloaded["cat_9"][1], original["cat_9"][1])
+
+    def test_loaded_data_is_preprocessable(self):
+        """TSV-loaded rows run through the full Transform phase."""
+        spec = get_model("RM1")
+        data = load_criteo_tsv(
+            io.StringIO(dump_criteo_tsv(generate_raw_table(spec, 24)))
+        )
+        pipe = PreprocessingPipeline(spec)
+        batch, counts = pipe.run(data)
+        assert batch.batch_size == 24
+        batch.validate_index_range(pipe.table_sizes)

@@ -1,0 +1,183 @@
+"""Tests for the data-generation/ingestion substrate (Figure 1, stage 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.features.ingestion import (
+    EventFilter,
+    InferenceServerSimulator,
+    InteractionEvent,
+    LoggingEngine,
+    StreamingLabeler,
+    Warehouse,
+    run_ingestion,
+)
+from repro.features.specs import get_model
+from repro.ops.pipeline import PreprocessingPipeline
+
+
+def impression(event_id, user, t, spec=None, dense=None, sparse=None):
+    spec = spec or get_model("RM1")
+    return InteractionEvent(
+        event_id=event_id,
+        user_id=user,
+        timestamp=t,
+        kind="impression",
+        dense=dense if dense is not None else tuple([1.0] * spec.num_dense),
+        sparse=sparse
+        if sparse is not None
+        else tuple((7,) for _ in range(spec.num_sparse)),
+    )
+
+
+def click(event_id, user, t):
+    return InteractionEvent(event_id=event_id, user_id=user, timestamp=t, kind="click")
+
+
+class TestLoggingEngine:
+    def test_log_and_drain_fifo(self):
+        log = LoggingEngine()
+        log.log(impression(1, 10, 0.0))
+        log.log(impression(2, 11, 1.0))
+        drained = log.drain("impression")
+        assert [e.event_id for e in drained] == [1, 2]
+        assert log.buffered == 0
+        assert log.total_logged == 2
+        assert log.total_drained == 2
+
+    def test_categories_independent(self):
+        log = LoggingEngine()
+        log.log(impression(1, 10, 0.0))
+        log.log(click(2, 10, 5.0))
+        assert len(log.drain("click")) == 1
+        assert len(log.drain("impression")) == 1
+
+    def test_drain_limit(self):
+        log = LoggingEngine()
+        log.log_many(impression(i, i, float(i)) for i in range(5))
+        assert len(log.drain("impression", limit=2)) == 2
+        assert log.buffered == 3
+
+    def test_overflow(self):
+        log = LoggingEngine(buffer_capacity=1)
+        log.log(impression(1, 10, 0.0))
+        with pytest.raises(CapacityError, match="overflow"):
+            log.log(impression(2, 11, 1.0))
+
+    def test_drain_empty(self):
+        assert LoggingEngine().drain("impression") == []
+
+
+class TestEventFilter:
+    def test_drops_bots(self):
+        spec = get_model("RM1")
+        events = [impression(1, -5, 0.0), impression(2, 5, 0.0)]
+        filt = EventFilter(spec, is_bot=lambda e: e.user_id < 0)
+        kept = filt.apply(events)
+        assert [e.event_id for e in kept] == [2]
+        assert filt.dropped_bots == 1
+
+    def test_drops_malformed(self):
+        spec = get_model("RM1")
+        bad_dense = impression(1, 5, 0.0, dense=(1.0,))  # too few dense
+        bad_sparse = impression(2, 5, 0.0, sparse=((-1,),) * spec.num_sparse)
+        filt = EventFilter(spec)
+        assert filt.apply([bad_dense, bad_sparse]) == []
+        assert filt.dropped_malformed == 2
+
+
+class TestStreamingLabeler:
+    def test_click_within_window_labels_one(self):
+        labeler = StreamingLabeler(attribution_window=100.0)
+        labeled = labeler.label(
+            [impression(1, 10, 0.0)], [click(2, 10, 50.0)]
+        )
+        assert labeled[0].label == 1
+
+    def test_click_outside_window_labels_zero(self):
+        labeler = StreamingLabeler(attribution_window=10.0)
+        labeled = labeler.label([impression(1, 10, 0.0)], [click(2, 10, 50.0)])
+        assert labeled[0].label == 0
+
+    def test_click_from_other_user_ignored(self):
+        labeler = StreamingLabeler()
+        labeled = labeler.label([impression(1, 10, 0.0)], [click(2, 99, 5.0)])
+        assert labeled[0].label == 0
+
+    def test_click_before_impression_ignored(self):
+        labeler = StreamingLabeler()
+        labeled = labeler.label([impression(1, 10, 100.0)], [click(2, 10, 50.0)])
+        assert labeled[0].label == 0
+
+    def test_kind_validation(self):
+        labeler = StreamingLabeler()
+        with pytest.raises(ConfigurationError, match="not a click"):
+            labeler.label([impression(1, 10, 0.0)], [impression(2, 10, 1.0)])
+        with pytest.raises(ConfigurationError, match="not an impression"):
+            labeler.label([click(1, 10, 0.0)], [])
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            StreamingLabeler(attribution_window=0.0)
+
+
+class TestWarehouse:
+    def test_table_schema_complete(self):
+        spec = get_model("RM1")
+        warehouse = Warehouse(spec)
+        labeler = StreamingLabeler()
+        warehouse.ingest(
+            labeler.label([impression(i, i, 0.0) for i in range(4)], [])
+        )
+        table = warehouse.to_table()
+        for column in spec.schema().columns():
+            assert column.name in table
+        assert len(table["label"]) == 4
+        assert len(warehouse) == 0  # consumed
+
+    def test_partial_materialization(self):
+        spec = get_model("RM1")
+        warehouse = Warehouse(spec)
+        labeler = StreamingLabeler()
+        warehouse.ingest(labeler.label([impression(i, i, 0.0) for i in range(5)], []))
+        table = warehouse.to_table(max_rows=2)
+        assert len(table["label"]) == 2
+        assert len(warehouse) == 3
+
+    def test_empty_warehouse(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            Warehouse(get_model("RM1")).to_table()
+
+
+class TestEndToEndIngestion:
+    def test_full_path_produces_preprocessable_table(self):
+        spec = get_model("RM1")
+        table, stats = run_ingestion(spec, num_impressions=200, seed=1)
+        assert stats["rows"] == stats["impressions"] - stats["dropped_bots"]
+        assert stats["dropped_malformed"] == 0
+        assert 0 < stats["positives"] < stats["rows"]
+        # the warehouse output feeds straight into the Transform phase
+        batch, counts = PreprocessingPipeline(spec).run(table)
+        assert batch.batch_size == stats["rows"]
+        batch.validate_index_range(PreprocessingPipeline(spec).table_sizes)
+
+    def test_bot_fraction_zero(self):
+        spec = get_model("RM1")
+        sim = InferenceServerSimulator(spec, seed=0, bot_fraction=0.0)
+        impressions, _ = sim.generate(50)
+        assert all(e.user_id >= 0 for e in impressions)
+
+    def test_simulator_validation(self):
+        spec = get_model("RM1")
+        with pytest.raises(ConfigurationError):
+            InferenceServerSimulator(spec, bot_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            InferenceServerSimulator(spec).generate(0)
+
+    def test_deterministic(self):
+        spec = get_model("RM1")
+        t1, s1 = run_ingestion(spec, 100, seed=9)
+        t2, s2 = run_ingestion(spec, 100, seed=9)
+        assert s1 == s2
+        np.testing.assert_array_equal(t1["label"], t2["label"])

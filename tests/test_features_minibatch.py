@@ -1,0 +1,150 @@
+"""Tests for the KeyedJaggedTensor and MiniBatch containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.features.minibatch import KeyedJaggedTensor, MiniBatch
+
+
+def make_kjt(batch=4):
+    return KeyedJaggedTensor.from_dict(
+        {
+            "a": (np.array([1, 2, 0, 1]), np.array([10, 20, 21, 30])),
+            "b": (np.array([1, 1, 1, 1]), np.array([5, 6, 7, 8])),
+        }
+    )
+
+
+class TestKeyedJaggedTensor:
+    def test_from_dict_shapes(self):
+        kjt = make_kjt()
+        assert kjt.keys == ["a", "b"]
+        assert kjt.batch_size == 4
+        assert kjt.num_keys == 2
+        assert kjt.lengths.shape == (2, 4)
+        assert len(kjt.values) == 8
+
+    def test_jagged_for_roundtrip(self):
+        kjt = make_kjt()
+        lengths, values = kjt.jagged_for("a")
+        np.testing.assert_array_equal(lengths, [1, 2, 0, 1])
+        np.testing.assert_array_equal(values, [10, 20, 21, 30])
+        lengths, values = kjt.jagged_for("b")
+        np.testing.assert_array_equal(values, [5, 6, 7, 8])
+
+    def test_offsets(self):
+        kjt = make_kjt()
+        assert kjt.offsets_for("a") == (0, 4)
+        assert kjt.offsets_for("b") == (4, 8)
+
+    def test_unknown_key(self):
+        with pytest.raises(FormatError, match="unknown"):
+            make_kjt().jagged_for("zzz")
+
+    def test_nbytes(self):
+        kjt = make_kjt()
+        assert kjt.nbytes() == kjt.lengths.size * 4 + kjt.values.size * 4
+
+    def test_inconsistent_batch_rejected(self):
+        with pytest.raises(FormatError, match="batch sizes"):
+            KeyedJaggedTensor.from_dict(
+                {
+                    "a": (np.array([1]), np.array([1])),
+                    "b": (np.array([1, 1]), np.array([1, 2])),
+                }
+            )
+
+    def test_length_sum_mismatch_rejected(self):
+        with pytest.raises(FormatError):
+            KeyedJaggedTensor(
+                keys=["a"],
+                lengths=np.array([[2, 2]]),
+                values=np.array([1, 2, 3]),
+            )
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(FormatError):
+            KeyedJaggedTensor.from_dict({})
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(FormatError):
+            KeyedJaggedTensor(
+                keys=["a"], lengths=np.array([[-1, 2]]), values=np.array([1])
+            )
+
+    @given(
+        lengths=st.lists(
+            st.lists(st.integers(min_value=0, max_value=3), min_size=3, max_size=3),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_property(self, lengths):
+        """Total values equal the sum of lengths across keys."""
+        jagged = {}
+        for i, row in enumerate(lengths):
+            total = sum(row)
+            jagged[f"k{i}"] = (
+                np.array(row, dtype=np.int32),
+                np.arange(total, dtype=np.int64),
+            )
+        kjt = KeyedJaggedTensor.from_dict(jagged)
+        assert len(kjt.values) == int(kjt.lengths.sum())
+        for key in jagged:
+            got_lengths, got_values = kjt.jagged_for(key)
+            np.testing.assert_array_equal(got_lengths, jagged[key][0])
+            np.testing.assert_array_equal(got_values, jagged[key][1])
+
+
+class TestMiniBatch:
+    def _batch(self):
+        return MiniBatch(
+            dense=np.zeros((4, 2), dtype=np.float32),
+            sparse=make_kjt(),
+            labels=np.zeros(4, dtype=np.float32),
+            batch_id=1,
+        )
+
+    def test_shapes(self):
+        mb = self._batch()
+        assert mb.batch_size == 4
+        assert mb.nbytes() > 0
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(FormatError):
+            MiniBatch(
+                dense=np.zeros((4, 2)), sparse=make_kjt(), labels=np.zeros(3)
+            )
+
+    def test_kjt_mismatch_rejected(self):
+        with pytest.raises(FormatError):
+            MiniBatch(
+                dense=np.zeros((5, 2)), sparse=make_kjt(), labels=np.zeros(5)
+            )
+
+    def test_dense_ndim_rejected(self):
+        with pytest.raises(FormatError):
+            MiniBatch(dense=np.zeros(4), sparse=make_kjt(), labels=np.zeros(4))
+
+    def test_validate_index_range_passes(self):
+        mb = self._batch()
+        mb.validate_index_range({"a": 1000, "b": 1000})
+
+    def test_validate_index_range_fails(self):
+        mb = self._batch()
+        with pytest.raises(FormatError, match="outside"):
+            mb.validate_index_range({"a": 5, "b": 1000})
+
+    def test_validate_missing_table(self):
+        mb = self._batch()
+        with pytest.raises(FormatError, match="no embedding table"):
+            mb.validate_index_range({"a": 1000})
+
+    def test_nbytes_accounting(self):
+        mb = self._batch()
+        expected = mb.dense.nbytes + mb.labels.nbytes + mb.sparse.nbytes()
+        assert mb.nbytes() == expected

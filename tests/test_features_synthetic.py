@@ -1,0 +1,103 @@
+"""Tests for the synthetic raw-data generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.features.specs import get_model
+from repro.features.synthetic import RAW_ID_SPACE, SyntheticTableGenerator
+
+
+class TestGeneration:
+    def test_schema_complete(self):
+        spec = get_model("RM1")
+        data = SyntheticTableGenerator(spec).generate(32)
+        schema = spec.schema()
+        for column in schema.columns():
+            assert column.name in data
+
+    def test_deterministic_per_seed(self):
+        spec = get_model("RM1")
+        a = SyntheticTableGenerator(spec, seed=1).generate(16)
+        b = SyntheticTableGenerator(spec, seed=1).generate(16)
+        np.testing.assert_array_equal(a["int_0"], b["int_0"])
+        np.testing.assert_array_equal(a["cat_0"][1], b["cat_0"][1])
+
+    def test_different_seeds_differ(self):
+        spec = get_model("RM1")
+        a = SyntheticTableGenerator(spec, seed=1).generate(64)
+        b = SyntheticTableGenerator(spec, seed=2).generate(64)
+        assert not np.array_equal(
+            np.nan_to_num(a["int_0"]), np.nan_to_num(b["int_0"])
+        )
+
+    def test_partitions_independent(self):
+        spec = get_model("RM1")
+        gen = SyntheticTableGenerator(spec, seed=0)
+        p0 = gen.generate(32, partition=0)
+        p1 = gen.generate(32, partition=1)
+        assert not np.array_equal(np.nan_to_num(p0["int_0"]), np.nan_to_num(p1["int_0"]))
+
+    def test_criteo_sparse_length_fixed_one(self):
+        spec = get_model("RM1")
+        data = SyntheticTableGenerator(spec).generate(64)
+        lengths, _ = data["cat_0"]
+        assert np.all(lengths == 1)
+
+    def test_production_sparse_lengths_average(self):
+        spec = get_model("RM2")
+        data = SyntheticTableGenerator(spec, seed=0).generate(512)
+        all_lengths = np.concatenate(
+            [data[name][0] for name in spec.schema().sparse_names]
+        )
+        assert float(all_lengths.mean()) == pytest.approx(20.0, rel=0.05)
+
+    def test_dense_missing_rate(self):
+        spec = get_model("RM1")
+        data = SyntheticTableGenerator(spec, seed=0).generate(2000)
+        stacked = np.concatenate([data[n] for n in spec.schema().dense_names])
+        missing = float(np.isnan(stacked).mean())
+        assert missing == pytest.approx(spec.dense_missing_rate, rel=0.25)
+
+    def test_ids_within_raw_space(self):
+        spec = get_model("RM2")
+        data = SyntheticTableGenerator(spec, seed=0).generate(64)
+        _, values = data["cat_0"]
+        assert values.min() >= 0
+        assert values.max() < RAW_ID_SPACE
+
+    def test_labels_are_clicks(self):
+        spec = get_model("RM1")
+        data = SyntheticTableGenerator(spec, seed=0, ctr=0.5).generate(2000)
+        rate = float(data["label"].mean())
+        assert rate == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_args(self):
+        spec = get_model("RM1")
+        with pytest.raises(ConfigurationError):
+            SyntheticTableGenerator(spec, ctr=1.5)
+        with pytest.raises(ConfigurationError):
+            SyntheticTableGenerator(spec, zipf_exponent=0.5)
+        with pytest.raises(ConfigurationError):
+            SyntheticTableGenerator(spec).generate(0)
+
+
+class TestBucketBoundaries:
+    def test_strictly_increasing_and_sized(self):
+        spec = get_model("RM5")
+        gen = SyntheticTableGenerator(spec)
+        edges = gen.bucket_boundaries("int_0")
+        assert len(edges) == spec.bucket_size
+        assert np.all(np.diff(edges) > 0)
+
+    def test_per_feature_boundaries_differ(self):
+        gen = SyntheticTableGenerator(get_model("RM1"))
+        a = gen.bucket_boundaries("int_0")
+        b = gen.bucket_boundaries("int_1")
+        assert not np.array_equal(a, b)
+
+    def test_deterministic(self):
+        spec = get_model("RM1")
+        a = SyntheticTableGenerator(spec, seed=3).bucket_boundaries("int_0")
+        b = SyntheticTableGenerator(spec, seed=3).bucket_boundaries("int_0")
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,63 @@
+"""Tests for the calibration constants, including validation of the
+analytic byte model against the real columnar writer."""
+
+import numpy as np
+import pytest
+
+from repro.dataio.columnar import write_table
+from repro.features.specs import all_models, get_model
+from repro.features.synthetic import SyntheticTableGenerator
+from repro.hardware.calibration import CALIBRATION, Calibration
+
+
+class TestByteModel:
+    @pytest.mark.parametrize("name", ["RM1", "RM2"])
+    def test_encoded_bytes_match_real_writer(self, name):
+        """The analytic encoded-bytes model should track the functional
+        writer within 25% (it drives every Extract/ingress cost)."""
+        spec = get_model(name)
+        rows = 512
+        data = SyntheticTableGenerator(spec, seed=0).generate(rows)
+        buf = write_table(spec.schema(), data, row_group_size=rows)
+        real_per_sample = len(buf) / rows
+        model_per_sample = CALIBRATION.encoded_bytes_per_sample(spec)
+        assert model_per_sample == pytest.approx(real_per_sample, rel=0.25)
+
+    def test_batch_bytes_scale_with_rows(self):
+        spec = get_model("RM5")
+        assert CALIBRATION.encoded_batch_bytes(spec, 100) == pytest.approx(
+            100 * CALIBRATION.encoded_bytes_per_sample(spec)
+        )
+
+    def test_train_ready_bytes(self):
+        spec = get_model("RM5")
+        per_batch = CALIBRATION.train_ready_batch_bytes(spec)
+        assert per_batch == spec.train_ready_bytes_per_sample() * spec.batch_size
+
+    def test_bigger_models_bigger_bytes(self):
+        sizes = [CALIBRATION.encoded_bytes_per_sample(s) for s in all_models()]
+        assert sizes[0] < sizes[1]  # RM1 << RM2
+        assert sizes[1] == sizes[4]  # RM2-5 share raw schema size
+
+
+class TestDerivedHelpers:
+    def test_accel_element_rate(self):
+        assert CALIBRATION.accel_element_rate(2) == pytest.approx(
+            2 * CALIBRATION.accelerator_clock_hz
+        )
+
+    def test_cpu_core_shares(self):
+        assert CALIBRATION.cpu_core_power == pytest.approx(350.0 / 32)
+        assert CALIBRATION.cpu_core_price == pytest.approx(12_000.0 / 32)
+
+    def test_amortization_hours(self):
+        assert CALIBRATION.amortization_hours == pytest.approx(3 * 365 * 24)
+
+    def test_smartssd_within_nvme_envelope(self):
+        assert CALIBRATION.smartssd_tdp <= 25.0
+        assert CALIBRATION.smartssd_active_power <= CALIBRATION.smartssd_tdp
+
+    def test_custom_calibration_is_independent(self):
+        custom = Calibration(cpu_hash_per_element=1e-6)
+        assert custom.cpu_hash_per_element != CALIBRATION.cpu_hash_per_element
+        assert CALIBRATION.cpu_hash_per_element == 190e-9

@@ -1,0 +1,134 @@
+"""Hypothesis property tests on the performance models: monotonicity and
+scaling invariants that must hold for *any* workload configuration, not
+just the five Table I points."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.provision import workers_for
+from repro.features.specs import MLPSpec, ModelSpec
+from repro.hardware.accelerator import AcceleratorModel
+from repro.hardware.calibration import CALIBRATION
+from repro.hardware.cpu import CpuCoreModel
+from repro.training.gpu import GpuTrainingModel
+
+
+def make_spec(num_dense, num_sparse, avg_len, num_generated, bucket_size):
+    return ModelSpec(
+        name="prop",
+        num_dense=num_dense,
+        num_sparse=num_sparse,
+        avg_sparse_length=avg_len,
+        num_generated_sparse=num_generated,
+        bucket_size=bucket_size,
+        bottom_mlp=MLPSpec((64, 32)),
+        top_mlp=MLPSpec((64, 1)),
+        num_tables=num_sparse + num_generated,
+        avg_embeddings_per_table=100_000,
+    )
+
+
+spec_strategy = st.builds(
+    make_spec,
+    num_dense=st.integers(min_value=1, max_value=600),
+    num_sparse=st.integers(min_value=1, max_value=64),
+    avg_len=st.integers(min_value=1, max_value=32),
+    num_generated=st.just(1),
+    bucket_size=st.sampled_from([256, 1024, 4096]),
+).filter(lambda s: s.num_generated_sparse <= s.num_dense)
+
+
+class TestCpuModelProperties:
+    @given(spec=spec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_all_latencies_positive(self, spec):
+        latency = CpuCoreModel().batch_latency(spec)
+        assert latency.total > 0
+        for value in latency.as_dict().values():
+            assert value >= 0
+
+    @given(spec=spec_strategy, extra=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_more_dense_features_never_faster(self, spec, extra):
+        bigger = dataclasses.replace(spec, num_dense=spec.num_dense + extra)
+        assert (
+            CpuCoreModel().batch_latency(bigger).total
+            >= CpuCoreModel().batch_latency(spec).total
+        )
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_throughput_inverse_of_latency(self, spec):
+        model = CpuCoreModel()
+        assert model.core_throughput(spec) == pytest.approx(
+            spec.batch_size / model.batch_latency(spec).total
+        )
+
+
+class TestAcceleratorProperties:
+    @given(spec=spec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_bottleneck_never_exceeds_latency(self, spec):
+        stages = AcceleratorModel().batch_stages(spec)
+        assert 0 < stages.bottleneck <= stages.latency
+
+    @given(spec=spec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_accelerator_beats_cpu_on_transform(self, spec):
+        """The parallel units never lose to a single core on the offloaded
+        ops, for any configuration."""
+        cpu = CpuCoreModel().batch_latency(spec)
+        stages = AcceleratorModel().batch_stages(spec)
+        assert stages.transform_time < cpu.transform_time
+
+    @given(spec=spec_strategy, scale=st.sampled_from([2.0, 4.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_unit_scale_never_hurts(self, spec, scale):
+        base = AcceleratorModel(unit_scale=1.0)
+        scaled = AcceleratorModel(unit_scale=scale)
+        assert scaled.device_throughput(spec) >= base.device_throughput(spec)
+
+
+class TestProvisioningProperties:
+    @given(
+        demand=st.floats(min_value=0.0, max_value=1e8),
+        worker=st.floats(min_value=1.0, max_value=1e7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_allocation_is_sufficient_and_tight(self, demand, worker):
+        n = workers_for(demand, worker)
+        assert n * worker >= demand  # sufficient
+        if n > 0:
+            assert (n - 1) * worker < demand  # tight: one fewer starves
+
+    @given(
+        demand=st.floats(min_value=1.0, max_value=1e8),
+        worker=st.floats(min_value=1.0, max_value=1e7),
+        factor=st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_demand(self, demand, worker, factor):
+        assert workers_for(demand * factor, worker) >= workers_for(demand, worker)
+
+
+class TestGpuModelProperties:
+    @given(spec=spec_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_training_throughput_positive(self, spec):
+        assert GpuTrainingModel().max_training_throughput(spec) > 0
+
+    @given(spec=spec_strategy, extra_tables=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_more_tables_never_faster(self, spec, extra_tables):
+        bigger = dataclasses.replace(
+            spec,
+            num_sparse=spec.num_sparse + extra_tables,
+            num_tables=spec.num_tables + extra_tables,
+        )
+        gpu = GpuTrainingModel()
+        assert gpu.max_training_throughput(bigger) <= gpu.max_training_throughput(
+            spec
+        )

@@ -1,0 +1,94 @@
+"""Tests for the network link and RPC accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.features.specs import all_models, get_model
+from repro.network.link import NetworkLink
+from repro.network.rpc import RpcAccounting
+from repro.sim.engine import Engine
+
+
+class TestNetworkLink:
+    def test_transfer_time_components(self):
+        link = NetworkLink("t", bandwidth=1e9, latency=1e-3)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-3)
+
+    def test_fair_sharing(self):
+        link = NetworkLink("t", bandwidth=1e9, latency=0.0)
+        assert link.transfer_time(1e9, concurrent_streams=4) == pytest.approx(4.0)
+
+    def test_efficiency(self):
+        link = NetworkLink("t", bandwidth=1e9, latency=0.0)
+        assert link.transfer_time(1e9, efficiency=0.5) == pytest.approx(2.0)
+
+    def test_stats_accumulate(self):
+        link = NetworkLink("t", bandwidth=1e9)
+        link.transfer_time(100)
+        link.transfer_time(200)
+        assert link.stats.messages == 2
+        assert link.stats.bytes_moved == 300
+
+    def test_wire_time(self):
+        link = NetworkLink("t", bandwidth=2e9, latency=0.0)
+        assert link.wire_time(1e9) == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        link = NetworkLink("t", bandwidth=1e9)
+        with pytest.raises(ConfigurationError):
+            link.transfer_time(-1)
+        with pytest.raises(ConfigurationError):
+            link.transfer_time(1, concurrent_streams=0)
+        with pytest.raises(ConfigurationError):
+            link.transfer_time(1, efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkLink("bad", bandwidth=0)
+
+    def test_as_server(self):
+        server = NetworkLink("t").as_server(Engine())
+        assert server.capacity == 1
+
+
+class TestRpcAccounting:
+    @pytest.fixture(scope="class")
+    def rpc(self):
+        return RpcAccounting()
+
+    def test_presto_no_raw_transfer(self, rpc):
+        for spec in all_models():
+            costs = rpc.presto_batch(spec)
+            assert costs.raw_data_transfer == 0.0
+            assert costs.fetch_requests == 0.0
+
+    def test_disagg_pays_raw_transfer(self, rpc):
+        costs = rpc.disagg_batch(get_model("RM5"))
+        assert costs.raw_data_transfer > 0
+        assert costs.fetch_requests > 0
+
+    def test_both_ship_tensors(self, rpc):
+        spec = get_model("RM3")
+        assert rpc.disagg_batch(spec).tensor_response == pytest.approx(
+            rpc.presto_batch(spec).tensor_response
+        )
+
+    def test_reduction_above_one(self, rpc):
+        for spec in all_models():
+            assert rpc.reduction(spec) > 1.5
+
+    def test_mean_reduction_near_paper(self, rpc):
+        values = [rpc.reduction(s) for s in all_models()]
+        assert sum(values) / len(values) == pytest.approx(2.9, rel=0.15)
+
+    def test_total_is_sum(self, rpc):
+        costs = rpc.disagg_batch(get_model("RM2"))
+        assert costs.total == pytest.approx(
+            costs.fetch_requests
+            + costs.raw_data_transfer
+            + costs.tensor_response
+            + costs.control
+        )
+
+    def test_bigger_models_more_rpc_time(self, rpc):
+        rm1 = rpc.disagg_batch(get_model("RM1")).total
+        rm5 = rpc.disagg_batch(get_model("RM5")).total
+        assert rm5 > 10 * rm1

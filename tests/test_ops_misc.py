@@ -1,0 +1,155 @@
+"""Tests for Log normalization, fill ops, and format conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OpError
+from repro.ops.fill import fill_dense, fill_sparse
+from repro.ops.format import to_minibatch
+from repro.ops.lognorm import log_normalize
+
+
+class TestLogNormalize:
+    def test_basic_values(self):
+        out = log_normalize(np.array([0.0, np.e - 1.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0], rtol=1e-6)
+
+    def test_negative_clamped(self):
+        assert log_normalize(np.array([-5.0]))[0] == 0.0
+
+    def test_nan_treated_as_zero(self):
+        assert log_normalize(np.array([np.nan]))[0] == 0.0
+
+    def test_output_dtype(self):
+        assert log_normalize(np.array([1.0])).dtype == np.float32
+
+    def test_monotone(self):
+        values = np.array([0.0, 1.0, 10.0, 100.0])
+        out = log_normalize(values)
+        assert np.all(np.diff(out) > 0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(OpError):
+            log_normalize(np.zeros((2, 2)))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_always_finite_nonnegative(self, values):
+        out = log_normalize(np.array(values, dtype=np.float64))
+        assert np.all(np.isfinite(out))
+        assert np.all(out >= 0)
+
+
+class TestFillDense:
+    def test_fills_nans(self):
+        out = fill_dense(np.array([1.0, np.nan, 3.0]), fill_value=9.0)
+        np.testing.assert_array_equal(out, [1.0, 9.0, 3.0])
+
+    def test_no_nans_copy(self):
+        values = np.array([1.0, 2.0], dtype=np.float32)
+        out = fill_dense(values)
+        out[0] = 99.0
+        assert values[0] == 1.0  # input untouched
+
+    def test_2d_rejected(self):
+        with pytest.raises(OpError):
+            fill_dense(np.zeros((2, 2)))
+
+
+class TestFillSparse:
+    def test_empty_rows_get_default(self):
+        lengths = np.array([2, 0, 1], dtype=np.int32)
+        values = np.array([10, 11, 12], dtype=np.int64)
+        new_lengths, new_values = fill_sparse(lengths, values, default_id=0)
+        assert new_lengths.tolist() == [2, 1, 1]
+        assert new_values.tolist() == [10, 11, 0, 12]
+
+    def test_no_empty_rows_passthrough(self):
+        lengths = np.array([1, 2], dtype=np.int32)
+        values = np.array([1, 2, 3], dtype=np.int64)
+        new_lengths, new_values = fill_sparse(lengths, values)
+        np.testing.assert_array_equal(new_lengths, lengths)
+        np.testing.assert_array_equal(new_values, values)
+
+    def test_all_empty(self):
+        new_lengths, new_values = fill_sparse(
+            np.zeros(3, dtype=np.int32), np.array([], dtype=np.int64), default_id=7
+        )
+        assert new_lengths.tolist() == [1, 1, 1]
+        assert new_values.tolist() == [7, 7, 7]
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(OpError, match="sum"):
+            fill_sparse(np.array([2]), np.array([1, 2, 3]))
+
+    @given(
+        lengths=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=40)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_property(self, lengths):
+        """Values are conserved; only empty rows gain one default entry."""
+        lengths = np.array(lengths, dtype=np.int32)
+        values = np.arange(int(lengths.sum()), dtype=np.int64) + 100
+        new_lengths, new_values = fill_sparse(lengths, values, default_id=-1)
+        assert np.all(new_lengths >= 1)
+        assert int(new_lengths.sum()) == len(new_values)
+        # non-default values preserved in order
+        kept = new_values[new_values != -1]
+        np.testing.assert_array_equal(kept, values)
+
+
+class TestToMinibatch:
+    def _inputs(self, batch=4):
+        dense = {"d0": np.arange(batch, dtype=np.float32)}
+        sparse = {
+            "s0": (
+                np.ones(batch, dtype=np.int32),
+                np.arange(batch, dtype=np.int64),
+            )
+        }
+        labels = np.zeros(batch, dtype=np.int8)
+        return dense, sparse, labels
+
+    def test_basic_assembly(self):
+        dense, sparse, labels = self._inputs()
+        mb = to_minibatch(dense, sparse, labels, ["d0"], ["s0"], batch_id=5)
+        assert mb.batch_size == 4
+        assert mb.dense.shape == (4, 1)
+        assert mb.sparse.keys == ["s0"]
+        assert mb.batch_id == 5
+
+    def test_missing_dense_rejected(self):
+        dense, sparse, labels = self._inputs()
+        with pytest.raises(OpError, match="missing dense"):
+            to_minibatch(dense, sparse, labels, ["d0", "d1"], ["s0"])
+
+    def test_missing_sparse_rejected(self):
+        dense, sparse, labels = self._inputs()
+        with pytest.raises(OpError, match="missing sparse"):
+            to_minibatch(dense, sparse, labels, ["d0"], ["s0", "s1"])
+
+    def test_batch_mismatch_rejected(self):
+        dense, sparse, labels = self._inputs()
+        dense["d0"] = dense["d0"][:-1]
+        with pytest.raises(OpError):
+            to_minibatch(dense, sparse, labels, ["d0"], ["s0"])
+
+    def test_column_order_respected(self):
+        batch = 3
+        dense = {
+            "a": np.full(batch, 1.0, dtype=np.float32),
+            "b": np.full(batch, 2.0, dtype=np.float32),
+        }
+        sparse = {
+            "s0": (np.ones(batch, dtype=np.int32), np.zeros(batch, dtype=np.int64))
+        }
+        mb = to_minibatch(dense, sparse, np.zeros(batch), ["b", "a"], ["s0"])
+        assert mb.dense[0, 0] == 2.0
+        assert mb.dense[0, 1] == 1.0
+
+    def test_no_dense_rejected(self):
+        _, sparse, labels = self._inputs()
+        with pytest.raises(OpError, match="at least one dense"):
+            to_minibatch({}, sparse, labels, [], ["s0"])

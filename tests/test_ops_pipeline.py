@@ -1,0 +1,122 @@
+"""Tests for the full preprocessing pipeline and its work counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.features.specs import get_model
+from repro.features.synthetic import SyntheticTableGenerator, generate_raw_table
+from repro.ops.pipeline import OpCounts, PreprocessingPipeline
+
+
+@pytest.fixture(scope="module")
+def rm1():
+    spec = get_model("RM1")
+    return spec, PreprocessingPipeline(spec), generate_raw_table(spec, 128)
+
+
+class TestPipelineRun:
+    def test_output_shapes(self, rm1):
+        spec, pipe, raw = rm1
+        batch, counts = pipe.run(raw)
+        assert batch.dense.shape == (128, spec.num_dense)
+        assert batch.sparse.num_keys == spec.num_tables  # 26 raw + 13 generated
+        assert len(batch.labels) == 128
+
+    def test_indices_within_tables(self, rm1):
+        _, pipe, raw = rm1
+        batch, _ = pipe.run(raw)
+        batch.validate_index_range(pipe.table_sizes)
+
+    def test_generated_feature_tables_sized_by_buckets(self, rm1):
+        spec, pipe, _ = rm1
+        for name in spec.generated_sparse_names:
+            assert pipe.table_sizes[name] == spec.bucket_size + 1
+        for name in spec.schema().sparse_names:
+            assert pipe.table_sizes[name] == spec.avg_embeddings_per_table
+
+    def test_deterministic(self, rm1):
+        _, pipe, raw = rm1
+        a, _ = pipe.run(raw)
+        b, _ = pipe.run(raw)
+        np.testing.assert_array_equal(a.dense, b.dense)
+        np.testing.assert_array_equal(a.sparse.values, b.sparse.values)
+
+    def test_dense_normalized_nonnegative(self, rm1):
+        _, pipe, raw = rm1
+        batch, _ = pipe.run(raw)
+        assert np.all(batch.dense >= 0)
+        assert np.all(np.isfinite(batch.dense))
+
+    def test_missing_column_raises(self, rm1):
+        _, pipe, raw = rm1
+        broken = dict(raw)
+        del broken["int_0"]
+        with pytest.raises(PipelineError, match="int_0"):
+            pipe.run(broken)
+
+    def test_required_columns(self, rm1):
+        spec, pipe, _ = rm1
+        cols = pipe.required_columns()
+        assert cols[0] == "label"
+        assert len(cols) == 1 + spec.num_dense + spec.num_sparse
+
+
+class TestOpCounts:
+    def test_measured_matches_expected_rm1(self, rm1):
+        spec, pipe, raw = rm1
+        _, measured = pipe.run(raw)
+        expected = OpCounts.expected_for(spec, 128)
+        assert measured.log_elements == expected.log_elements
+        assert measured.bucketize_elements == expected.bucketize_elements
+        assert measured.bucket_boundaries == expected.bucket_boundaries
+        # RM1 sparse length is fixed at 1, so hash counts match exactly
+        assert measured.hash_elements == expected.hash_elements
+
+    def test_expected_counts_production_model(self):
+        spec = get_model("RM5")
+        counts = OpCounts.expected_for(spec)
+        assert counts.rows == 8192
+        assert counts.log_elements == 8192 * 504
+        assert counts.bucketize_elements == 8192 * 42
+        assert counts.hash_elements == 8192 * 42 * 20
+        assert counts.bucket_boundaries == 4096
+
+    def test_search_steps(self):
+        assert OpCounts.expected_for(get_model("RM5")).search_steps_per_element == 13
+        assert OpCounts.expected_for(get_model("RM1")).search_steps_per_element == 11
+
+    def test_transform_elements_sum(self):
+        counts = OpCounts.expected_for(get_model("RM2"))
+        assert counts.transform_elements == (
+            counts.log_elements + counts.bucketize_elements + counts.hash_elements
+        )
+
+    def test_measured_hash_close_to_expected_jagged(self):
+        """For jagged models the measured hash count fluctuates around the
+        Poisson mean (plus fills for empty rows)."""
+        spec = get_model("RM2")
+        pipe = PreprocessingPipeline(spec)
+        raw = generate_raw_table(spec, 64)
+        _, measured = pipe.run(raw)
+        expected = OpCounts.expected_for(spec, 64)
+        assert measured.hash_elements == pytest.approx(
+            expected.hash_elements, rel=0.10
+        )
+
+
+class TestPipelineConstruction:
+    def test_wrong_boundary_count_rejected(self):
+        spec = get_model("RM1")
+        gen = SyntheticTableGenerator(spec)
+        boundaries = {
+            name: gen.bucket_boundaries(name)[:-1]  # one edge short
+            for name in spec.bucketize_source_names
+        }
+        with pytest.raises(PipelineError, match="bucket size"):
+            PreprocessingPipeline(spec, boundaries=boundaries)
+
+    def test_missing_boundaries_rejected(self):
+        spec = get_model("RM1")
+        with pytest.raises(PipelineError, match="missing bucket boundaries"):
+            PreprocessingPipeline(spec, boundaries={})

@@ -1,0 +1,139 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Timeout
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        engine = Engine()
+        log = []
+
+        def proc():
+            yield Timeout(1.5)
+            log.append(engine.now)
+            yield Timeout(0.5)
+            log.append(engine.now)
+
+        engine.spawn("p", proc())
+        engine.run()
+        assert log == [1.5, 2.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_zero_timeout_ok(self):
+        engine = Engine()
+
+        def proc():
+            yield Timeout(0.0)
+
+        p = engine.spawn("p", proc())
+        engine.run()
+        assert p.finished
+
+    def test_run_until(self):
+        engine = Engine()
+
+        def proc():
+            yield Timeout(10.0)
+
+        p = engine.spawn("p", proc())
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+        assert not p.finished
+        engine.run()
+        assert p.finished
+        assert engine.now == 10.0
+
+
+class TestProcessLifecycle:
+    def test_finish_time_recorded(self):
+        engine = Engine()
+
+        def proc():
+            yield Timeout(3.0)
+
+        p = engine.spawn("p", proc())
+        engine.run()
+        assert p.finished
+        assert p.finish_time == 3.0
+
+    def test_all_finished(self):
+        engine = Engine()
+
+        def proc(d):
+            yield Timeout(d)
+
+        engine.spawn("a", proc(1.0))
+        engine.spawn("b", proc(2.0))
+        assert not engine.all_finished()
+        engine.run()
+        assert engine.all_finished()
+
+    def test_unknown_event_rejected(self):
+        engine = Engine()
+
+        def proc():
+            yield "not-an-event"
+
+        engine.spawn("p", proc())
+        with pytest.raises(SimulationError, match="unknown event"):
+            engine.run()
+
+    def test_interleaving_deterministic(self):
+        engine = Engine()
+        log = []
+
+        def proc(name, delay):
+            yield Timeout(delay)
+            log.append(name)
+
+        engine.spawn("first", proc("first", 1.0))
+        engine.spawn("second", proc("second", 1.0))
+        engine.run()
+        # simultaneous events fire in spawn order
+        assert log == ["first", "second"]
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def forever():
+            while True:
+                yield Timeout(0.0)
+
+        engine.spawn("loop", forever())
+        with pytest.raises(SimulationError, match="runaway"):
+            engine.run(max_events=100)
+
+    def test_schedule_into_past_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+
+class TestOrderingProperty:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_events_fire_in_time_order(self, delays):
+        engine = Engine()
+        fired = []
+
+        def proc(delay):
+            yield Timeout(delay)
+            fired.append(engine.now)
+
+        for delay in delays:
+            engine.spawn("p", proc(delay))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,130 @@
+"""Tests for the DLRM cost model, GPU training model, and train manager."""
+
+import pytest
+
+from repro.features.specs import all_models, get_model
+from repro.sim.engine import Engine, Timeout
+from repro.training.dlrm import DlrmCostModel
+from repro.training.gpu import GpuTrainingModel
+from repro.training.trainer import TrainManager
+
+
+class TestDlrmCostModel:
+    def test_interaction_terms(self):
+        model = DlrmCostModel(get_model("RM1"))  # 39 tables + 1 dense vector
+        assert model.interaction_inputs == 40
+        assert model.interaction_terms == 40 * 39 // 2
+
+    def test_top_mlp_input_width(self):
+        model = DlrmCostModel(get_model("RM1"))
+        assert model.top_mlp_input_width == 128 + model.interaction_terms
+
+    def test_forward_macs_grow_with_model(self):
+        rm1 = DlrmCostModel(get_model("RM1")).forward_macs()
+        rm5 = DlrmCostModel(get_model("RM5")).forward_macs()
+        assert rm5 > rm1
+
+    def test_workload_embedding_bytes(self):
+        spec = get_model("RM5")
+        work = DlrmCostModel(spec).workload(embedding_traffic_multiplier=4.0)
+        expected = 882 * 128 * 4 * 4.0
+        assert work.embedding_bytes == pytest.approx(expected)
+
+    def test_training_flops_multiplier(self):
+        model = DlrmCostModel(get_model("RM2"))
+        work = model.workload()
+        assert work.training_flops == pytest.approx(6.0 * model.forward_macs())
+
+
+class TestGpuTrainingModel:
+    @pytest.fixture(scope="class")
+    def gpu(self):
+        return GpuTrainingModel()
+
+    def test_rm5_demand_implies_367_cores(self, gpu):
+        """Cross-check of the paper's headline provisioning number."""
+        from repro.hardware.cpu import CpuCoreModel
+
+        spec = get_model("RM5")
+        cores = CpuCoreModel().cores_required(
+            spec, gpu.node_throughput(spec, 8)
+        )
+        assert cores == 367
+
+    def test_throughput_ordering(self, gpu):
+        """Lighter models train faster."""
+        t = {s.name: gpu.max_training_throughput(s) for s in all_models()}
+        assert t["RM1"] > t["RM2"] > t["RM3"]
+        assert t["RM3"] == pytest.approx(t["RM4"])  # bucket size irrelevant
+
+    def test_node_scales_with_gpus(self, gpu):
+        spec = get_model("RM3")
+        assert gpu.node_throughput(spec, 8) == pytest.approx(
+            8 * gpu.max_training_throughput(spec)
+        )
+        with pytest.raises(ValueError):
+            gpu.node_throughput(spec, 0)
+
+    def test_iteration_breakdown_components(self, gpu):
+        breakdown = gpu.iteration_breakdown(get_model("RM5"))
+        assert breakdown.embedding > breakdown.compute  # memory-bound training
+        assert breakdown.total == pytest.approx(
+            max(breakdown.compute, breakdown.embedding)
+            + breakdown.kernel_overhead
+            + breakdown.fixed_overhead
+        )
+
+    def test_utilization_clamps(self, gpu):
+        spec = get_model("RM5")
+        t_max = gpu.max_training_throughput(spec)
+        assert gpu.utilization(spec, 10 * t_max) == 1.0
+        assert gpu.utilization(spec, 0.0) == 0.0
+        assert gpu.utilization(spec, t_max / 2) == pytest.approx(0.5)
+
+
+class TestTrainManager:
+    def test_measures_node_throughput(self):
+        spec = get_model("RM1")
+        manager = TrainManager(spec, num_gpus=4)
+        gpu = GpuTrainingModel()
+        assert manager.measure_max_throughput() == pytest.approx(
+            gpu.node_throughput(spec, 4)
+        )
+
+    def test_run_consumes_batches(self):
+        spec = get_model("RM1")
+        manager = TrainManager(spec, num_gpus=1)
+        engine = Engine()
+        queue = manager.make_input_queue()
+
+        def producer():
+            for i in range(5):
+                yield queue.put(i)
+                yield Timeout(0.001)
+
+        engine.spawn("producer", producer())
+        engine.spawn("trainer", manager.run(engine, queue, 5))
+        engine.run()
+        assert manager.stats.batches_trained == 5
+        assert manager.stats.training_time > 0
+        assert manager.stats.finish_time > 0
+
+    def test_starved_trainer_waits(self):
+        spec = get_model("RM1")
+        manager = TrainManager(spec, num_gpus=1)
+        engine = Engine()
+        queue = manager.make_input_queue()
+
+        def slow_producer():
+            yield Timeout(1.0)
+            yield queue.put(0)
+
+        engine.spawn("producer", slow_producer())
+        engine.spawn("trainer", manager.run(engine, queue, 1))
+        engine.run()
+        assert manager.stats.wait_time >= 1.0
+        assert manager.stats.gpu_utilization < 0.1
+
+    def test_invalid_gpus(self):
+        with pytest.raises(ValueError):
+            TrainManager(get_model("RM1"), num_gpus=0)
