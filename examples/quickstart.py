@@ -1,4 +1,4 @@
-"""Quickstart: preprocess RecSys data in storage with PreSto.
+"""Quickstart: preprocess RecSys data in storage, then run it as a Scenario.
 
 Walks the paper's core flow on the public Criteo-style model (RM1):
 
@@ -6,18 +6,22 @@ Walks the paper's core flow on the public Criteo-style model (RM1):
 2. store the partitions on SmartSSD devices (a distributed storage system);
 3. preprocess one partition with the baseline CPU worker and with the
    PreSto ISP worker — functionally identical tensors, very different time;
-4. provision both systems for an 8-GPU training job (the T/P computation).
+4. declare the experiment as a `Scenario` and `.run()` it — the one front
+   door that validates the config, provisions ceil(T/P) workers, simulates
+   the full preprocessing-feeds-training pipeline, and returns a uniform
+   `RunResult`;
+5. compare design points with a parallel `Sweep` over the system registry.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import get_model
+from repro import Scenario, Sweep, get_model
 from repro.core.cpu_worker import CpuPreprocessingWorker
 from repro.core.isp_worker import IspPreprocessingWorker
-from repro.core.systems import DisaggCpuSystem, PreStoSystem
 from repro.dataio.partition import RowPartitioner
+from repro.experiments.common import format_table
 from repro.features.synthetic import SyntheticTableGenerator
 from repro.storage.cluster import DistributedStorage
 from repro.storage.smartssd import SmartSsd
@@ -67,13 +71,37 @@ def main() -> None:
     print(f"  one SmartSSD : {pretty_time(isp_latency)} "
           f"({cpu_latency / isp_latency:.1f}x faster)")
 
-    # 4. provision for an 8-GPU training node
-    for system in (DisaggCpuSystem(spec), PreStoSystem(spec)):
-        plan = system.provision_for(num_gpus=8)
-        print(f"\n{system.name}: {plan.num_workers} workers to sustain "
-              f"{plan.training_throughput:,.0f} samples/s "
-              f"(P = {plan.worker_throughput:,.0f} samples/s per worker, "
-              f"headroom {plan.headroom:.2f}x)")
+    # 4. one declarative scenario: validated at construction, provisioned
+    #    via T/P, simulated end to end
+    scenario = Scenario(model="RM1", system="PreSto", num_gpus=1,
+                        num_batches=200)
+    result = scenario.run()
+    print(f"\nScenario {scenario.label}:")
+    print(f"  {result.summary()}")
+    print(f"  steady-state GPU utilization: "
+          f"{100 * result.steady_state_utilization:.1f}%")
+    assert scenario == Scenario.from_dict(scenario.to_dict())  # config files
+
+    # 5. a parallel sweep across registered design points — results come
+    #    back in grid order regardless of the pool's scheduling
+    sweep = Sweep.grid(models="RM1", systems=("Disagg", "PreSto", "U280"),
+                       num_gpus=(1,), num_batches=200)
+    rows_out = [
+        (
+            r.scenario.system,
+            r.num_workers,
+            100 * r.steady_state_utilization,
+            r.power_watts,
+            r.capex_dollars,
+        )
+        for r in sweep.run()
+    ]
+    print()
+    print(format_table(
+        ["system", "workers", "steady util (%)", "power (W)", "CapEx ($)"],
+        rows_out,
+        title="Sweep: RM1, 1 GPU, demand-provisioned",
+    ))
 
 
 if __name__ == "__main__":

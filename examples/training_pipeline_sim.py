@@ -1,36 +1,31 @@
 """End-to-end training-pipeline simulation: who keeps the GPU busy?
 
-Simulates the full Figure 9 flow with the discrete-event engine for three
-deployments on the production-scale RM5 model:
+Declares the full Figure 9 flow as `Scenario` records for three deployments
+on the production-scale RM5 model:
 
 * co-located preprocessing (16 host cores, the DGX budget) — starves the GPU;
 * a disaggregated CPU pool provisioned via T/P — keeps it busy with ~367 cores;
 * PreSto — keeps it busy with 9 SmartSSDs.
 
+All three scenarios run concurrently through a `Sweep` (one process per
+scenario) and the results come back in declaration order.
+
 Run:  python examples/training_pipeline_sim.py
 """
 
-from repro import get_model
-from repro.core.cpu_worker import CpuPreprocessingWorker
-from repro.core.endtoend import EndToEndSimulation
-from repro.core.isp_worker import IspPreprocessingWorker
+from repro import Scenario, Sweep, get_model
 from repro.experiments.common import format_table
 
-
-def simulate(name, spec, worker_factory, num_gpus, num_batches, num_workers=None):
-    sim = EndToEndSimulation(spec, worker_factory, num_gpus=num_gpus)
-    if num_workers is None:
-        stats = sim.run(num_batches=num_batches, provision_to_demand=True)
-    else:
-        stats = sim.run(num_batches=num_batches, num_workers=num_workers)
-    return (
-        name,
-        stats.num_workers,
-        stats.wall_time,
-        100.0 * stats.gpu_utilization,
-        100.0 * stats.steady_state_utilization,
-        stats.training_throughput,
-    )
+DEPLOYMENTS = [
+    # co-location cannot elastically allocate: the budget is 16 host cores
+    ("Co-located (16 cores, 1 GPU)",
+     Scenario(model="RM5", system="Co-located", num_gpus=1, num_workers=16,
+              num_batches=60)),
+    ("Disagg CPU pool (T/P, 8 GPUs)",
+     Scenario(model="RM5", system="Disagg", num_gpus=8, num_batches=400)),
+    ("PreSto ISP (T/P, 8 GPUs)",
+     Scenario(model="RM5", system="PreSto", num_gpus=8, num_batches=400)),
+]
 
 
 def main() -> None:
@@ -38,29 +33,18 @@ def main() -> None:
     print(f"Simulating {spec.name} training pipelines "
           f"(batch {spec.batch_size})...\n")
 
+    sweep = Sweep([scenario for _, scenario in DEPLOYMENTS])
+    results = sweep.run()  # parallel; deterministic ordering
     rows = [
-        simulate(
-            "Co-located (16 cores, 1 GPU)",
-            spec,
-            lambda: CpuPreprocessingWorker(spec, colocated=True),
-            num_gpus=1,
-            num_batches=60,
-            num_workers=16,
-        ),
-        simulate(
-            "Disagg CPU pool (T/P, 8 GPUs)",
-            spec,
-            lambda: CpuPreprocessingWorker(spec),
-            num_gpus=8,
-            num_batches=400,
-        ),
-        simulate(
-            "PreSto ISP (T/P, 8 GPUs)",
-            spec,
-            lambda: IspPreprocessingWorker(spec),
-            num_gpus=8,
-            num_batches=400,
-        ),
+        (
+            name,
+            result.num_workers,
+            result.wall_time,
+            100.0 * result.gpu_utilization,
+            100.0 * result.steady_state_utilization,
+            result.training_throughput,
+        )
+        for (name, _), result in zip(DEPLOYMENTS, results)
     ]
     print(
         format_table(

@@ -1,5 +1,9 @@
-"""Legacy shim so `pip install -e . --no-build-isolation --no-use-pep517`
-works offline (no wheel package available in this environment)."""
+"""Compatibility shim only — all metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-build-isolation --no-use-pep517`` still
+works in offline environments without the ``wheel`` package; everywhere
+else, install straight from pyproject.toml (``pip install -e .[test]``).
+"""
 from setuptools import setup
 
 setup()

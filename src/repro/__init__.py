@@ -8,17 +8,40 @@ recommendation models (Lee, Kim, Rhu; ISCA 2024).  This package provides:
 * calibrated performance models for CPU-centric preprocessing, the PreSto
   SmartSSD accelerator, GPU/FPGA alternatives, networks, and DLRM training;
 * a discrete-event simulator coupling preprocessing to training;
+* the declarative :mod:`repro.api` layer — ``Scenario``, ``Sweep``, and a
+  system registry — the single front door for constructing and running
+  anything in the repo;
 * an experiment harness regenerating every table and figure of the paper's
   evaluation (see :mod:`repro.experiments.report`).
 
-Quick start::
+Quick start — one scenario::
 
-    from repro import get_model, PreStoSystem
+    from repro import Scenario
 
-    spec = get_model("RM5")
-    presto = PreStoSystem(spec)
-    plan = presto.provision_for(num_gpus=8)
-    print(plan.num_workers, "SmartSSDs feed 8 A100s")
+    result = Scenario(model="RM5", system="PreSto", num_gpus=8).run()
+    print(result.summary())  # 9 SmartSSDs keep 8 A100s busy
+
+A parallel sweep across design points::
+
+    from repro import Sweep
+
+    sweep = Sweep.grid(models=("RM1", "RM5"), systems=("Disagg", "PreSto"),
+                       num_gpus=(1, 8))
+    for result in sweep.run():  # multiprocessing; deterministic order
+        print(result.summary())
+
+Registering your own design point makes it available to scenarios, sweeps,
+the CLI, and the experiment harness at once::
+
+    from repro import PreStoSystem, register_system
+
+    @register_system("PreSto-Gen2")
+    class PreStoGen2System(PreStoSystem):
+        ...
+
+Scenarios round-trip through plain dicts (``to_dict``/``from_dict``) for
+config files, and every run returns a uniform :class:`~repro.api.RunResult`
+(utilization, throughputs, provisioning, power, CapEx).
 """
 
 from repro.features.specs import (
@@ -37,6 +60,7 @@ from repro.core.systems import (
     A100PoolSystem,
     CoLocatedCpuSystem,
     DisaggCpuSystem,
+    PreprocessingSystem,
     PreStoSystem,
     PreStoU280System,
     U280PoolSystem,
@@ -45,8 +69,18 @@ from repro.core.cpu_worker import CpuPreprocessingWorker
 from repro.core.isp_worker import IspPreprocessingWorker
 from repro.core.endtoend import EndToEndSimulation
 from repro.core.provision import ProvisioningPlan, provision
+from repro.api import (
+    REGISTRY,
+    RunResult,
+    Scenario,
+    Sweep,
+    SystemRegistry,
+    available_systems,
+    get_system,
+    register_system,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -66,6 +100,7 @@ __all__ = [
     "A100PoolSystem",
     "CoLocatedCpuSystem",
     "DisaggCpuSystem",
+    "PreprocessingSystem",
     "PreStoSystem",
     "PreStoU280System",
     "U280PoolSystem",
@@ -74,4 +109,12 @@ __all__ = [
     "EndToEndSimulation",
     "ProvisioningPlan",
     "provision",
+    "REGISTRY",
+    "RunResult",
+    "Scenario",
+    "Sweep",
+    "SystemRegistry",
+    "available_systems",
+    "get_system",
+    "register_system",
 ]

@@ -1,0 +1,36 @@
+"""repro.api — the declarative front door for every experiment.
+
+Three pieces:
+
+* :class:`SystemRegistry` / :func:`register_system` — a catalog of system
+  design points; user systems plug in next to the paper's six;
+* :class:`Scenario` — one frozen, validated, dict-round-trippable record
+  describing model x system x deployment; ``.run()`` simulates the full
+  pipeline and returns a uniform :class:`RunResult`;
+* :class:`Sweep` — a grid of scenarios executed serially or across a
+  ``multiprocessing`` pool with deterministic result ordering.
+"""
+
+from repro.api.registry import (
+    REGISTRY,
+    SystemRegistry,
+    available_systems,
+    get_system,
+    register_system,
+)
+from repro.api.result import RunResult
+from repro.api.scenario import PROVISION_MODES, Scenario, calibration_overrides
+from repro.api.sweep import Sweep
+
+__all__ = [
+    "REGISTRY",
+    "SystemRegistry",
+    "available_systems",
+    "get_system",
+    "register_system",
+    "RunResult",
+    "PROVISION_MODES",
+    "Scenario",
+    "calibration_overrides",
+    "Sweep",
+]

@@ -1,0 +1,159 @@
+"""Declarative system registry — the catalog behind the Scenario API.
+
+Every preprocessing design point (the paper's six, plus any user-defined
+ones) registers itself under a stable name with the global
+:data:`REGISTRY`, usually via the :func:`register_system` class decorator::
+
+    @register_system("PreSto-Gen2")
+    class PreStoGen2System(PreStoSystem):
+        ...
+
+Scenarios, sweeps, the CLI, and the experiment harness all construct
+systems by name through the registry, so a new design point plugs into
+every entry point at once without touching core code.
+
+This module deliberately imports nothing from :mod:`repro.core` at module
+level (the built-in systems import *us* to register themselves); the
+built-ins are pulled in lazily on first lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Tuple, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import CALIBRATION, Calibration
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.systems import PreprocessingSystem
+    from repro.features.specs import ModelSpec
+
+#: a factory builds one system instance for a model spec and calibration
+SystemFactory = Callable[..., "PreprocessingSystem"]
+
+
+class SystemRegistry:
+    """Name -> factory catalog of preprocessing system design points."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, SystemFactory] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: SystemFactory,
+        aliases: Tuple[str, ...] = (),
+        replace: bool = False,
+    ) -> SystemFactory:
+        """Register ``factory`` under ``name`` (and optional aliases).
+
+        Re-registering a taken name raises unless ``replace=True``.
+        """
+        if not isinstance(name, str) or not name.strip():
+            raise ConfigurationError("system name must be a non-empty string")
+        if not callable(factory):
+            raise ConfigurationError(f"factory for {name!r} must be callable")
+        taken = set(self._factories) | set(self._aliases)
+        for label in (name, *aliases):
+            if label in taken and not replace:
+                raise ConfigurationError(
+                    f"system {label!r} is already registered; "
+                    "pass replace=True to override"
+                )
+        self._factories[name] = factory
+        for alias in aliases:
+            self._aliases[alias] = name
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove a design point (mainly for tests and notebooks)."""
+        canonical = self.canonical(name)
+        del self._factories[canonical]
+        self._aliases = {a: n for a, n in self._aliases.items() if n != canonical}
+
+    # -- lookup ------------------------------------------------------------
+
+    def _ensure_builtins(self) -> None:
+        # Importing the module runs its @register_system decorators.
+        import repro.core.systems  # noqa: F401
+
+    def canonical(self, name: str) -> str:
+        """Resolve ``name`` (exact, alias, or case-insensitive) to the
+        registered canonical name; raise listing the known names."""
+        self._ensure_builtins()
+        if name in self._factories:
+            return name
+        if name in self._aliases:
+            return self._aliases[name]
+        if isinstance(name, str):
+            folded = name.casefold()
+            for label in (*self._factories, *self._aliases):
+                if label.casefold() == folded:
+                    return self._aliases.get(label, label)
+        raise ConfigurationError(
+            f"unknown system {name!r}; registered systems: "
+            + ", ".join(self.names())
+        )
+
+    def get(self, name: str) -> SystemFactory:
+        """The factory registered under ``name``."""
+        return self._factories[self.canonical(name)]
+
+    def create(
+        self,
+        name: str,
+        spec: "ModelSpec",
+        calibration: Calibration = CALIBRATION,
+    ) -> "PreprocessingSystem":
+        """Instantiate the named system for ``spec``."""
+        return self.get(name)(spec, calibration)
+
+    def names(self) -> Tuple[str, ...]:
+        """Canonical names in registration order (built-ins first)."""
+        self._ensure_builtins()
+        return tuple(self._factories)
+
+    # -- mapping-ish conveniences -----------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        try:
+            self.canonical(name)  # type: ignore[arg-type]
+        except ConfigurationError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+
+#: the process-wide registry every entry point consults
+REGISTRY = SystemRegistry()
+
+
+def register_system(
+    name: str, *, aliases: Tuple[str, ...] = (), replace: bool = False
+) -> Callable[[SystemFactory], SystemFactory]:
+    """Class decorator registering a design point with :data:`REGISTRY`."""
+
+    def decorate(factory: SystemFactory) -> SystemFactory:
+        return REGISTRY.register(name, factory, aliases=aliases, replace=replace)
+
+    return decorate
+
+
+def available_systems() -> Tuple[str, ...]:
+    """Canonical names of every registered system design point."""
+    return REGISTRY.names()
+
+
+def get_system(
+    name: str, spec: "ModelSpec", calibration: Calibration = CALIBRATION
+) -> "PreprocessingSystem":
+    """Construct one registered system by name."""
+    return REGISTRY.create(name, spec, calibration)

@@ -1,0 +1,223 @@
+"""The declarative front door: one frozen record describes one experiment.
+
+A :class:`Scenario` names a Table I model, a registered system design point,
+and the deployment shape (GPUs, worker provisioning, queue depth, optional
+calibration overrides).  Validation happens at construction, the record
+round-trips through plain dicts for config files, and :meth:`Scenario.run`
+executes the full Figure 9 pipeline simulation and returns a uniform
+:class:`~repro.api.result.RunResult`.
+
+Quick start::
+
+    from repro.api import Scenario
+
+    result = Scenario(model="RM5", system="PreSto", num_gpus=8).run()
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import numbers
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.features.specs import ModelSpec, get_model
+from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.api.registry import REGISTRY
+from repro.api.result import RunResult
+
+#: valid values of :attr:`Scenario.provision`
+PROVISION_MODES = ("demand", "explicit")
+
+_CALIBRATION_FIELDS = frozenset(f.name for f in dataclasses.fields(Calibration))
+
+#: overrides accepted at construction (normalized to a sorted tuple of pairs)
+CalibrationOverrides = Union[
+    Mapping[str, float], Tuple[Tuple[str, float], ...]
+]
+
+
+def calibration_overrides(calibration: Calibration) -> Dict[str, float]:
+    """The fields of ``calibration`` that differ from the paper's defaults —
+    the dict form a :class:`Scenario` stores."""
+    return {
+        name: value
+        for name, value in dataclasses.asdict(calibration).items()
+        if value != getattr(CALIBRATION, name)
+    }
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative experiment: model x system x deployment shape."""
+
+    model: str
+    system: str
+    num_gpus: int = 8
+    num_workers: Optional[int] = None  # explicit allocation (else T/P)
+    provision: str = "demand"  # "demand" = ceil(T/P); "explicit" = num_workers
+    num_batches: int = 200
+    queue_capacity: int = 16
+    calibration: CalibrationOverrides = field(default_factory=tuple)
+    #: reserved for stochastic workloads (trace sampling, jittered arrivals);
+    #: the current simulation is fully deterministic, so today the seed is
+    #: recorded and round-tripped but does not change results — scenarios
+    #: differing only in seed still compare unequal, as config records should
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # model: normalize to the canonical upper-case Table I name
+        spec = get_model(self.model)  # raises ConfigurationError when unknown
+        object.__setattr__(self, "model", spec.name)
+        # system: resolve aliases/case through the registry
+        object.__setattr__(self, "system", REGISTRY.canonical(self.system))
+
+        for name in ("num_gpus", "num_batches", "queue_capacity"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(f"{name} must be a positive int, got {value!r}")
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ConfigurationError(f"seed must be a non-negative int, got {self.seed!r}")
+
+        if self.provision not in PROVISION_MODES:
+            raise ConfigurationError(
+                f"provision must be one of {PROVISION_MODES}, got {self.provision!r}"
+            )
+        if self.num_workers is not None:
+            if not isinstance(self.num_workers, int) or self.num_workers <= 0:
+                raise ConfigurationError(
+                    f"num_workers must be a positive int, got {self.num_workers!r}"
+                )
+            # an explicit worker count implies explicit provisioning
+            object.__setattr__(self, "provision", "explicit")
+        elif self.provision == "explicit":
+            raise ConfigurationError("provision='explicit' requires num_workers")
+
+        object.__setattr__(
+            self, "calibration", _normalize_overrides(self.calibration)
+        )
+
+    # -- construction helpers ----------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Short display name, e.g. ``RM5/PreSto/8gpu``."""
+        return f"{self.model}/{self.system}/{self.num_gpus}gpu"
+
+    def spec(self) -> ModelSpec:
+        """The resolved Table I model spec."""
+        return get_model(self.model)
+
+    def build_calibration(self) -> Calibration:
+        """The paper calibration with this scenario's overrides applied."""
+        return dataclasses.replace(CALIBRATION, **dict(self.calibration))
+
+    def build_system(self):
+        """Instantiate the named system design point."""
+        return REGISTRY.create(self.system, self.spec(), self.build_calibration())
+
+    def replace(self, **changes: Any) -> "Scenario":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- execution ----------------------------------------------------------
+
+    def provision_plan(self):
+        """The analytic T/P provisioning plan (no simulation)."""
+        return self.build_system().provision_for(self.num_gpus)
+
+    def run(self) -> RunResult:
+        """Simulate the full preprocessing-feeds-training pipeline."""
+        from repro.core.endtoend import EndToEndSimulation
+        from repro.training.gpu import GpuTrainingModel
+
+        spec = self.spec()
+        calibration = self.build_calibration()
+        system = self.build_system()
+        sim = EndToEndSimulation(
+            spec,
+            system=system,
+            num_gpus=self.num_gpus,
+            calibration=calibration,
+            queue_capacity=self.queue_capacity,
+        )
+        stats = sim.run(
+            num_batches=self.num_batches,
+            num_workers=self.num_workers,
+            provision_to_demand=self.provision == "demand",
+        )
+        demand = GpuTrainingModel(calibration).node_throughput(spec, self.num_gpus)
+        worker_throughput = system.worker_throughput()
+        supply_capacity = stats.num_workers * worker_throughput
+        return RunResult(
+            scenario=self,
+            num_workers=stats.num_workers,
+            num_batches=stats.num_batches,
+            wall_time=stats.wall_time,
+            training_time=stats.training_time,
+            wait_time=stats.wait_time,
+            first_batch_time=stats.first_batch_time,
+            gpu_utilization=stats.gpu_utilization,
+            steady_state_utilization=stats.steady_state_utilization,
+            preprocessing_throughput=stats.preprocessing_throughput,
+            training_throughput=stats.training_throughput,
+            training_demand=demand,
+            worker_throughput=worker_throughput,
+            headroom=supply_capacity / demand if demand > 0 else float("inf"),
+            power_watts=system.power(stats.num_workers),
+            capex_dollars=system.capex(stats.num_workers),
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for config files (round-trips via from_dict)."""
+        return {
+            "model": self.model,
+            "system": self.system,
+            "num_gpus": self.num_gpus,
+            "num_workers": self.num_workers,
+            "provision": self.provision,
+            "num_batches": self.num_batches,
+            "queue_capacity": self.queue_capacity,
+            "calibration": dict(self.calibration),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output (strict keys)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario keys {sorted(unknown)}; expected {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+
+def _normalize_overrides(overrides: Any) -> Tuple[Tuple[str, float], ...]:
+    """Validate calibration overrides and freeze them as sorted pairs."""
+    if overrides is None:
+        return ()
+    items = overrides.items() if isinstance(overrides, Mapping) else overrides
+    try:
+        pairs = [(name, value) for name, value in items]
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"calibration overrides must be a mapping or (name, value) pairs, "
+            f"got {overrides!r}"
+        )
+    for name, value in pairs:
+        if name not in _CALIBRATION_FIELDS:
+            raise ConfigurationError(
+                f"unknown calibration field {name!r}; see repro.hardware."
+                "calibration.Calibration for the tunables"
+            )
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            raise ConfigurationError(
+                f"calibration override {name!r} must be a number, got {value!r}"
+            )
+    return tuple(sorted(pairs))

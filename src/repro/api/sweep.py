@@ -1,0 +1,99 @@
+"""Parallel scenario sweeps with deterministic result ordering.
+
+A :class:`Sweep` is an ordered collection of :class:`~repro.api.scenario.Scenario`
+records.  :meth:`Sweep.run` executes them across a ``multiprocessing`` pool
+(scenarios are frozen, picklable, and side-effect free, so fan-out is safe)
+and always returns results in scenario order — a parallel run is
+indistinguishable from a serial one except for wall-clock time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.api.result import RunResult
+from repro.api.scenario import Scenario
+
+
+def _run_scenario(scenario: Scenario) -> RunResult:
+    """Module-level so pool workers can unpickle it."""
+    return scenario.run()
+
+
+def _as_tuple(value: Union[object, Iterable[object]]) -> Tuple[object, ...]:
+    if isinstance(value, (str, int, float)) or value is None:
+        return (value,)
+    return tuple(value)
+
+
+class Sweep:
+    """An ordered grid of scenarios runnable serially or in parallel."""
+
+    def __init__(self, scenarios: Iterable[Scenario]) -> None:
+        self.scenarios: Tuple[Scenario, ...] = tuple(scenarios)
+        if not self.scenarios:
+            raise ConfigurationError("a sweep needs at least one scenario")
+        for scenario in self.scenarios:
+            if not isinstance(scenario, Scenario):
+                raise ConfigurationError(
+                    f"sweeps take Scenario records, got {scenario!r}"
+                )
+
+    @classmethod
+    def grid(
+        cls,
+        models: Union[str, Sequence[str]],
+        systems: Union[str, Sequence[str]],
+        num_gpus: Union[int, Sequence[int]] = (8,),
+        **common: object,
+    ) -> "Sweep":
+        """Cartesian product (models x systems x num_gpus), models outermost.
+
+        ``common`` keyword arguments are applied to every scenario
+        (``num_batches``, ``queue_capacity``, ``calibration``, ...).
+        """
+        scenarios = [
+            Scenario(model=model, system=system, num_gpus=gpus, **common)
+            for model, system, gpus in itertools.product(
+                _as_tuple(models), _as_tuple(systems), _as_tuple(num_gpus)
+            )
+        ]
+        return cls(scenarios)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self, parallel: bool = True, processes: Optional[int] = None
+    ) -> List[RunResult]:
+        """Execute every scenario; results are in scenario order either way."""
+        if not parallel or len(self.scenarios) == 1:
+            return [scenario.run() for scenario in self.scenarios]
+        workers = processes or min(len(self.scenarios), os.cpu_count() or 2)
+        if workers <= 1:
+            return [scenario.run() for scenario in self.scenarios]
+        with multiprocessing.Pool(processes=workers) as pool:
+            # map() preserves input order, so parallel == serial ordering.
+            return pool.map(_run_scenario, self.scenarios)
+
+    # -- container conveniences ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __getitem__(self, index: int) -> Scenario:
+        return self.scenarios[index]
+
+    def to_dicts(self) -> List[dict]:
+        """Config-file form: one plain dict per scenario."""
+        return [scenario.to_dict() for scenario in self.scenarios]
+
+    @classmethod
+    def from_dicts(cls, dicts: Iterable[dict]) -> "Sweep":
+        return cls(Scenario.from_dict(d) for d in dicts)

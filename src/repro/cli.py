@@ -7,6 +7,11 @@ Commands:
 * ``list``            — list available experiment ids;
 * ``run <id> [...]``  — run one or more experiments by id (e.g. ``fig12``,
                         ``table2``, ``abl-lanes``) and print their tables;
+* ``run --model RM5 --system PreSto [--gpus N]`` — run one declarative
+                        scenario through the :mod:`repro.api` front door;
+* ``sweep``           — run a scenario grid (models x systems x gpus) in
+                        parallel and tabulate the results;
+* ``systems``         — list registered system design points;
 * ``provision <model> [--gpus N]`` — print the T/P provisioning of every
                         system design point for one Table I model.
 """
@@ -14,11 +19,14 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.core.systems import ALL_SYSTEM_FACTORIES
+from repro.api import REGISTRY, RunResult, Scenario, Sweep, available_systems
+from repro.errors import ReproError
 from repro.experiments import report as report_mod
+from repro.experiments.common import format_table
 from repro.features.specs import MODEL_NAMES, get_model
 
 #: short CLI ids -> report keys
@@ -44,6 +52,58 @@ COMMAND_IDS: Dict[str, str] = {
     "abl-batch": "Sensitivity: batch size",
     "abl-fleet": "Fleet: multi-job scheduling",
 }
+
+#: columns of the scenario/sweep result table
+RESULT_HEADERS = (
+    "model",
+    "system",
+    "GPUs",
+    "workers",
+    "util (%)",
+    "steady util (%)",
+    "supply (samples/s)",
+    "power (W)",
+    "CapEx ($)",
+)
+
+
+def _result_row(result: RunResult) -> tuple:
+    scenario = result.scenario
+    return (
+        scenario.model,
+        scenario.system,
+        scenario.num_gpus,
+        result.num_workers,
+        100.0 * result.gpu_utilization,
+        100.0 * result.steady_state_utilization,
+        result.preprocessing_throughput,
+        result.power_watts,
+        result.capex_dollars,
+    )
+
+
+def _print_results(results: List[RunResult], title: str, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+        return
+    print(format_table(RESULT_HEADERS, [_result_row(r) for r in results], title))
+
+
+def _parse_overrides(pairs: Optional[List[str]]) -> Dict[str, float]:
+    overrides: Dict[str, float] = {}
+    for pair in pairs or []:
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--set expects field=value, got {pair!r}")
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            raise SystemExit(f"--set {name}: {value!r} is not a number")
+    return overrides
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
 
 
 def _runner_for(command_id: str):
@@ -71,11 +131,65 @@ def cmd_list(_: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """Run selected experiments."""
+    """Run experiments by id, or one declarative scenario via --model/--system."""
+    wants_scenario = args.model or args.system
+    if wants_scenario:
+        if args.ids:
+            raise SystemExit("pass experiment ids OR --model/--system, not both")
+        if not (args.model and args.system):
+            raise SystemExit("scenario runs need both --model and --system")
+        try:
+            scenario = Scenario(
+                model=args.model,
+                system=args.system,
+                num_gpus=args.gpus,
+                num_workers=args.workers,
+                num_batches=args.batches,
+                queue_capacity=args.queue,
+                calibration=_parse_overrides(args.set),
+            )
+            result = scenario.run()
+        except ReproError as exc:
+            raise SystemExit(str(exc))
+        _print_results([result], f"Scenario {scenario.label}", args.json)
+        if not args.json:
+            print(result.summary())
+        return 0
+    if not args.ids:
+        raise SystemExit("pass experiment ids (see `list`) or --model/--system")
     for command_id in args.ids:
         result = _runner_for(command_id)()
         print(result.render())
         print()
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a scenario grid (models x systems x gpus) and tabulate it."""
+    try:
+        sweep = Sweep.grid(
+            models=_csv(args.models),
+            systems=_csv(args.systems),
+            num_gpus=[int(g) for g in _csv(args.gpus)],
+            num_batches=args.batches,
+            queue_capacity=args.queue,
+            calibration=_parse_overrides(args.set),
+        )
+        results = sweep.run(parallel=not args.serial, processes=args.processes)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    _print_results(
+        results, f"Sweep: {len(results)} scenarios", args.json
+    )
+    return 0
+
+
+def cmd_systems(_: argparse.Namespace) -> int:
+    """Registered system design points."""
+    for name in available_systems():
+        doc = (REGISTRY.get(name).__doc__ or "").strip()
+        first_line = doc.splitlines()[0] if doc else "(no description)"
+        print(f"{name:14} {first_line}")
     return 0
 
 
@@ -86,8 +200,8 @@ def cmd_provision(args: argparse.Namespace) -> int:
         f"{spec.name}: provisioning for {args.gpus} GPU(s), "
         f"batch {spec.batch_size}"
     )
-    for name, factory in ALL_SYSTEM_FACTORIES.items():
-        system = factory(spec)
+    for name in available_systems():
+        system = REGISTRY.create(name, spec)
         try:
             plan = system.provision_for(args.gpus)
         except Exception as exc:  # co-located caps, etc.
@@ -124,6 +238,17 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--batches", type=int, default=200,
+                        help="training iterations to simulate")
+    parser.add_argument("--queue", type=int, default=16,
+                        help="input queue capacity (mini-batches)")
+    parser.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                        help="calibration override (repeatable)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit RunResult records as JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser."""
     parser = argparse.ArgumentParser(
@@ -137,9 +262,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_parser("list", help="list experiment ids").set_defaults(func=cmd_list)
 
-    run_parser = sub.add_parser("run", help="run selected experiments")
-    run_parser.add_argument("ids", nargs="+", help="experiment ids (see `list`)")
+    run_parser = sub.add_parser(
+        "run", help="run experiments by id, or one scenario via --model/--system"
+    )
+    run_parser.add_argument("ids", nargs="*", help="experiment ids (see `list`)")
+    run_parser.add_argument("--model", help="Table I model for a scenario run")
+    run_parser.add_argument("--system", help="registered system (see `systems`)")
+    run_parser.add_argument("--gpus", type=int, default=8)
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="explicit worker count (default: ceil(T/P))")
+    _add_scenario_options(run_parser)
     run_parser.set_defaults(func=cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a models x systems x gpus scenario grid in parallel"
+    )
+    sweep_parser.add_argument("--models", default=",".join(MODEL_NAMES),
+                              help="comma-separated Table I models")
+    sweep_parser.add_argument("--systems", default="Disagg,PreSto",
+                              help="comma-separated registered systems")
+    sweep_parser.add_argument("--gpus", default="8",
+                              help="comma-separated GPU counts")
+    sweep_parser.add_argument("--serial", action="store_true",
+                              help="run scenarios serially (default: parallel)")
+    sweep_parser.add_argument("--processes", type=int, default=None,
+                              help="pool size for parallel execution")
+    _add_scenario_options(sweep_parser)
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    sub.add_parser(
+        "systems", help="list registered system design points"
+    ).set_defaults(func=cmd_systems)
 
     export = sub.add_parser("export", help="write experiment rows as CSV")
     export.add_argument("--dir", default="results")

@@ -11,11 +11,15 @@ utilization drops below 100%.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.systems import PreprocessingSystem
 
 from repro.errors import ConfigurationError
 from repro.features.specs import ModelSpec
 from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.api.registry import REGISTRY
 from repro.core.manager import PreprocessManager
 from repro.core.worker import PreprocessingWorker
 from repro.sim.engine import Engine
@@ -54,16 +58,35 @@ class PipelineStats:
 
 
 class EndToEndSimulation:
-    """Build and run one preprocessing-feeds-training pipeline."""
+    """Build and run one preprocessing-feeds-training pipeline.
+
+    Preferred construction names a registered system design point::
+
+        EndToEndSimulation(spec, system="PreSto", num_gpus=8)
+
+    (or passes a :class:`~repro.core.systems.PreprocessingSystem` instance).
+    The legacy ``worker_factory`` form still works as a shim for callers
+    that predate the :mod:`repro.api` layer.
+    """
 
     def __init__(
         self,
         spec: ModelSpec,
-        worker_factory: Callable[[], PreprocessingWorker],
+        worker_factory: Optional[Callable[[], PreprocessingWorker]] = None,
         num_gpus: int = 1,
         calibration: Calibration = CALIBRATION,
         queue_capacity: int = 16,
+        system: Union[str, "PreprocessingSystem", None] = None,
     ) -> None:
+        if (worker_factory is None) == (system is None):
+            raise ConfigurationError(
+                "pass exactly one of worker_factory or system"
+            )
+        if system is not None:
+            if isinstance(system, str):
+                system = REGISTRY.create(system, spec, calibration)
+            worker_factory = system.make_worker
+        self.system = system
         self.spec = spec
         self.calibration = calibration
         self.preprocess_manager = PreprocessManager(spec, worker_factory)
@@ -99,7 +122,9 @@ class EndToEndSimulation:
             raise ConfigurationError(
                 "pass num_workers or provision_to_demand=True"
             )
-        self.preprocess_manager.launch(engine, queue, num_batches, **launch_kwargs)
+        producers = self.preprocess_manager.launch(
+            engine, queue, num_batches, **launch_kwargs
+        )
         trainer_process = engine.spawn(
             "train-manager",
             self.train_manager.run(engine, queue, num_batches),
@@ -111,7 +136,20 @@ class EndToEndSimulation:
         stats = self.train_manager.stats
         wall = stats.finish_time
         samples = num_batches * self.spec.batch_size
-        produced_time = wall if wall > 0 else 1.0
+        consumed_time = wall if wall > 0 else 1.0
+        # Supply is what the preprocess manager actually produced over the
+        # time its workers were active — not a copy of the training rate.
+        # Well-fed producers finish (and stop being measured) before the
+        # trainer drains the queue, so supply can legitimately exceed demand.
+        produced_samples = (
+            self.preprocess_manager.total_batches_produced * self.spec.batch_size
+        )
+        production_span = max(
+            (p.finish_time for p in producers if p.finish_time is not None),
+            default=wall,
+        )
+        if production_span <= 0:
+            production_span = consumed_time
         return PipelineStats(
             spec_name=self.spec.name,
             num_workers=len(self.preprocess_manager.workers),
@@ -119,7 +157,7 @@ class EndToEndSimulation:
             wall_time=wall,
             training_time=stats.training_time,
             wait_time=stats.wait_time,
-            preprocessing_throughput=samples / produced_time,
-            training_throughput=samples / produced_time,
+            preprocessing_throughput=produced_samples / production_span,
+            training_throughput=samples / consumed_time,
             first_batch_time=stats.first_batch_time,
         )

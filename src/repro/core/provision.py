@@ -40,14 +40,25 @@ class ProvisioningPlan:
 
 
 def workers_for(training_throughput: float, worker_throughput: float) -> int:
-    """``ceil(T / P)`` with input validation."""
+    """The smallest worker count whose aggregate supply meets the demand.
+
+    Nominally ``ceil(T / P)``, but computed so the sufficient-and-tight
+    contract holds even when floating point misbehaves: ``T / P`` can
+    underflow to zero for subnormal demands (allocating zero workers for a
+    positive demand) or round across an integer boundary.
+    """
     if worker_throughput <= 0:
         raise ProvisioningError("worker throughput must be positive")
     if training_throughput < 0:
         raise ProvisioningError("training throughput must be non-negative")
     if training_throughput == 0:
         return 0
-    return math.ceil(training_throughput / worker_throughput)
+    count = max(1, math.ceil(training_throughput / worker_throughput))
+    while count * worker_throughput < training_throughput:
+        count += 1
+    while count > 1 and (count - 1) * worker_throughput >= training_throughput:
+        count -= 1
+    return count
 
 
 def provision(

@@ -10,13 +10,15 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Callable, Dict, List
+import warnings
+from typing import Callable, Iterator, Mapping
 
 from repro.errors import ConfigurationError
 from repro.features.specs import ModelSpec
 from repro.hardware.calibration import CALIBRATION, Calibration
 from repro.hardware.cpu import CpuCoreModel
 from repro.hardware.power import PowerModel
+from repro.api.registry import REGISTRY, register_system
 from repro.core.accel_worker import GpuPoolWorker, PreStoU280Worker, U280PoolWorker
 from repro.core.cpu_worker import CpuPreprocessingWorker
 from repro.core.isp_worker import IspPreprocessingWorker
@@ -67,6 +69,7 @@ class PreprocessingSystem(abc.ABC):
         """Preprocessing-side capital expenditure (dollars)."""
 
 
+@register_system("Disagg")
 class DisaggCpuSystem(PreprocessingSystem):
     """Baseline: disaggregated pool of CPU preprocessing servers."""
 
@@ -86,6 +89,7 @@ class DisaggCpuSystem(PreprocessingSystem):
         return self.power_model.disagg_cpu_nodes(num_workers)
 
 
+@register_system("Co-located", aliases=("Colocated",))
 class CoLocatedCpuSystem(PreprocessingSystem):
     """CPU workers sharing the GPU training node (Figure 2(a))."""
 
@@ -145,6 +149,7 @@ class CoLocatedCpuSystem(PreprocessingSystem):
         return 0.0  # the host cores come with the training node
 
 
+@register_system("PreSto", aliases=("PreSto (SmartSSD)",))
 class PreStoSystem(PreprocessingSystem):
     """The proposal: SmartSSD ISP units inside the storage system."""
 
@@ -162,6 +167,7 @@ class PreStoSystem(PreprocessingSystem):
         )
 
 
+@register_system("A100")
 class A100PoolSystem(PreprocessingSystem):
     """Disaggregated pool of A100 GPUs running NVTabular-style preprocessing."""
 
@@ -177,6 +183,7 @@ class A100PoolSystem(PreprocessingSystem):
         return num_workers * self.cal.a100_price + self.cal.presto_host_share_price
 
 
+@register_system("U280")
 class U280PoolSystem(PreprocessingSystem):
     """Disaggregated pool of discrete U280 FPGA preprocessors."""
 
@@ -192,6 +199,7 @@ class U280PoolSystem(PreprocessingSystem):
         return num_workers * self.cal.u280_price + self.cal.presto_host_share_price
 
 
+@register_system("PreSto (U280)", aliases=("PreSto-U280",))
 class PreStoU280System(PreprocessingSystem):
     """A U280 integrated in the storage node ("PreSto (U280)")."""
 
@@ -207,12 +215,39 @@ class PreStoU280System(PreprocessingSystem):
         return num_workers * self.cal.u280_price + self.cal.presto_host_share_price
 
 
-#: name -> constructor for every design point (Figure 16's four + baselines)
-ALL_SYSTEM_FACTORIES: Dict[str, Callable[[ModelSpec], PreprocessingSystem]] = {
-    "Disagg": DisaggCpuSystem,
-    "Co-located": CoLocatedCpuSystem,
-    "PreSto": PreStoSystem,
-    "A100": A100PoolSystem,
-    "U280": U280PoolSystem,
-    "PreSto (U280)": PreStoU280System,
-}
+class _DeprecatedFactoryView(Mapping):
+    """Live, read-only view of the registry kept for backwards compatibility.
+
+    The hard-coded ``ALL_SYSTEM_FACTORIES`` dict is gone; construct systems
+    through :mod:`repro.api` (``Scenario``, ``get_system``, ``REGISTRY``)
+    instead.  This shim still behaves like the old dict — including any
+    newly registered user systems — but warns on use.
+    """
+
+    def _warn(self) -> None:
+        warnings.warn(
+            "ALL_SYSTEM_FACTORIES is deprecated; use repro.api "
+            "(Scenario, get_system, REGISTRY) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, name: str) -> Callable[..., PreprocessingSystem]:
+        self._warn()
+        try:
+            return REGISTRY.get(name)
+        except ConfigurationError:
+            raise KeyError(name)
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        return iter(REGISTRY.names())
+
+    def __len__(self) -> int:
+        return len(REGISTRY.names())
+
+
+#: deprecated name -> constructor mapping (see :class:`_DeprecatedFactoryView`)
+ALL_SYSTEM_FACTORIES: Mapping[str, Callable[..., PreprocessingSystem]] = (
+    _DeprecatedFactoryView()
+)

@@ -1,10 +1,18 @@
-"""Shared plumbing for the experiment modules."""
+"""Shared plumbing for the experiment modules.
+
+Experiments construct systems through the :mod:`repro.api` registry (one
+front door for built-in and user-registered design points alike) and, when
+they take a custom :class:`Calibration`, translate it to the override form
+:class:`~repro.api.scenario.Scenario` stores via :func:`scenario_for`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
+from repro.api.registry import REGISTRY
+from repro.api.scenario import Scenario, calibration_overrides
 from repro.features.specs import MODEL_NAMES, ModelSpec, all_models
 from repro.hardware.calibration import CALIBRATION, Calibration
 
@@ -17,6 +25,29 @@ def models() -> List[ModelSpec]:
 def model_names() -> List[str]:
     """RM1..RM5."""
     return list(MODEL_NAMES)
+
+
+def build_system(
+    name: str, spec: ModelSpec, calibration: Calibration = CALIBRATION
+):
+    """One registered system design point by name (registry front door)."""
+    return REGISTRY.create(name, spec, calibration)
+
+
+def scenario_for(
+    model: str,
+    system: str,
+    calibration: Calibration = CALIBRATION,
+    **kwargs,
+) -> Scenario:
+    """A validated Scenario from an experiment's (model, system, calibration)
+    arguments — the Calibration instance becomes Scenario overrides."""
+    return Scenario(
+        model=model,
+        system=system,
+        calibration=calibration_overrides(calibration),
+        **kwargs,
+    )
 
 
 @dataclass(frozen=True)

@@ -13,8 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.core.systems import DisaggCpuSystem, PreStoSystem
-from repro.experiments.common import PaperClaim, format_table, models
+from repro.experiments.common import PaperClaim, build_system, format_table, models
 from repro.hardware.calibration import CALIBRATION, Calibration
 
 CORE_COUNTS = (1, 16, 32, 64)
@@ -93,9 +92,11 @@ def run(calibration: Calibration = CALIBRATION) -> Fig11Result:
     disagg: Dict[str, Dict[int, float]] = {}
     presto: Dict[str, float] = {}
     for spec in models():
-        cpu_system = DisaggCpuSystem(spec, calibration)
+        cpu_system = build_system("Disagg", spec, calibration)
         disagg[spec.name] = {
             n: cpu_system.aggregate_throughput(n) for n in CORE_COUNTS
         }
-        presto[spec.name] = PreStoSystem(spec, calibration).worker_throughput()
+        presto[spec.name] = build_system(
+            "PreSto", spec, calibration
+        ).worker_throughput()
     return Fig11Result(disagg=disagg, presto=presto)

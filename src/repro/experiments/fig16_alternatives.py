@@ -15,9 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.core.accel_worker import GpuPoolWorker, PreStoU280Worker, U280PoolWorker
-from repro.core.isp_worker import IspPreprocessingWorker
-from repro.experiments.common import PaperClaim, format_table, models
+from repro.experiments.common import PaperClaim, build_system, format_table, models
 from repro.hardware.calibration import CALIBRATION, Calibration
 
 DESIGNS = ("A100", "U280", "PreSto (U280)", "PreSto (SmartSSD)")
@@ -103,21 +101,20 @@ def run(calibration: Calibration = CALIBRATION) -> Fig16Result:
     perf_watt: Dict[str, Dict[str, float]] = {}
     movement: Dict[str, float] = {}
     for spec in models():
-        a100 = GpuPoolWorker(spec, calibration)
-        u280 = U280PoolWorker(spec, calibration)
-        presto_u280 = PreStoU280Worker(spec, calibration)
-        presto = IspPreprocessingWorker(spec, calibration=calibration)
-        workers = {
-            "A100": (a100, a100.active_power),
-            "U280": (u280, u280.active_power),
-            "PreSto (U280)": (presto_u280, presto_u280.active_power),
-            "PreSto (SmartSSD)": (presto, calibration.smartssd_active_power),
-        }
+        # every design comes out of the registry; "PreSto (SmartSSD)" is a
+        # registered alias of the canonical "PreSto" design point
+        workers = {}
+        for design in DESIGNS:
+            worker = build_system(design, spec, calibration).make_worker()
+            power = getattr(
+                worker, "active_power", calibration.smartssd_active_power
+            )
+            workers[design] = (worker, power)
         throughput[spec.name] = {name: w.throughput() for name, (w, _) in workers.items()}
         perf_watt[spec.name] = {
             name: w.throughput() / power for name, (w, power) in workers.items()
         }
-        movement[spec.name] = u280.data_movement_share()
+        movement[spec.name] = workers["U280"][0].data_movement_share()
     return Fig16Result(
         throughput=throughput,
         perf_per_watt=perf_watt,

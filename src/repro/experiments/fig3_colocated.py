@@ -14,8 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.core.systems import CoLocatedCpuSystem
-from repro.experiments.common import PaperClaim, format_table
+from repro.experiments.common import PaperClaim, build_system, format_table
 from repro.features.specs import get_model
 from repro.hardware.calibration import CALIBRATION, Calibration
 from repro.training.gpu import GpuTrainingModel
@@ -74,7 +73,7 @@ def run(
 ) -> Fig3Result:
     """Regenerate Figure 3."""
     spec = get_model(model)
-    system = CoLocatedCpuSystem(spec, calibration)
+    system = build_system("Co-located", spec, calibration)
     gpu = GpuTrainingModel(calibration)
     throughputs = [system.aggregate_throughput(n) for n in CORE_COUNTS]
     utils = [gpu.utilization(spec, t) for t in throughputs]

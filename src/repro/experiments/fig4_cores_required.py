@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.core.systems import DisaggCpuSystem
-from repro.experiments.common import PaperClaim, format_table, models
+from repro.experiments.common import PaperClaim, format_table, models, scenario_for
 from repro.hardware.calibration import CALIBRATION, Calibration
 
 NUM_GPUS = 8
@@ -68,8 +67,10 @@ def run(calibration: Calibration = CALIBRATION) -> Fig4Result:
     demand: Dict[str, float] = {}
     per_core: Dict[str, float] = {}
     for spec in models():
-        system = DisaggCpuSystem(spec, calibration)
-        plan = system.provision_for(NUM_GPUS)
+        scenario = scenario_for(
+            spec.name, "Disagg", calibration, num_gpus=NUM_GPUS
+        )
+        plan = scenario.provision_plan()
         cores[spec.name] = plan.num_workers
         demand[spec.name] = plan.training_throughput
         per_core[spec.name] = plan.worker_throughput

@@ -1,0 +1,293 @@
+"""Tests for the declarative Scenario API: registry, Scenario, Sweep,
+RunResult, and the deprecation shims over the old entry points."""
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.api import (
+    REGISTRY,
+    RunResult,
+    Scenario,
+    Sweep,
+    available_systems,
+    calibration_overrides,
+    get_system,
+    register_system,
+)
+from repro.core.provision import workers_for
+from repro.core.systems import ALL_SYSTEM_FACTORIES, PreStoSystem
+from repro.errors import ConfigurationError
+from repro.features.specs import get_model
+from repro.hardware.calibration import CALIBRATION
+
+BUILTIN_SYSTEMS = ("Disagg", "Co-located", "PreSto", "A100", "U280", "PreSto (U280)")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_systems()
+        for name in BUILTIN_SYSTEMS:
+            assert name in names
+
+    def test_create_by_name(self):
+        system = get_system("PreSto", get_model("RM1"))
+        assert isinstance(system, PreStoSystem)
+        assert system.worker_throughput() > 0
+
+    def test_alias_and_case_insensitive_lookup(self):
+        assert REGISTRY.canonical("PreSto (SmartSSD)") == "PreSto"
+        assert REGISTRY.canonical("presto") == "PreSto"
+        assert "disagg" in REGISTRY
+
+    def test_unknown_system_lists_names(self):
+        with pytest.raises(ConfigurationError, match="registered systems"):
+            REGISTRY.canonical("NoSuchSystem")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_system("PreSto")(PreStoSystem)
+
+    def test_register_and_unregister_custom(self):
+        @register_system("Test-Custom")
+        class CustomSystem(PreStoSystem):
+            name = "Test-Custom"
+
+        try:
+            assert "Test-Custom" in available_systems()
+            system = get_system("Test-Custom", get_model("RM1"))
+            assert isinstance(system, CustomSystem)
+            # and it flows straight into the Scenario front door
+            plan = Scenario(model="RM1", system="Test-Custom").provision_plan()
+            assert plan.num_workers >= 1
+        finally:
+            REGISTRY.unregister("Test-Custom")
+        assert "Test-Custom" not in available_systems()
+
+    def test_invalid_registrations(self):
+        with pytest.raises(ConfigurationError, match="non-empty string"):
+            REGISTRY.register("", PreStoSystem)
+        with pytest.raises(ConfigurationError, match="callable"):
+            REGISTRY.register("Test-NotCallable", object())
+
+
+class TestScenarioValidation:
+    def test_normalizes_model_and_system(self):
+        scenario = Scenario(model="rm5", system="presto")
+        assert scenario.model == "RM5"
+        assert scenario.system == "PreSto"
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError, match="unknown model"):
+            Scenario(model="RM9", system="PreSto")
+
+    def test_unknown_system(self):
+        with pytest.raises(ConfigurationError, match="unknown system"):
+            Scenario(model="RM1", system="Disco")
+
+    @pytest.mark.parametrize("field", ["num_gpus", "num_batches", "queue_capacity"])
+    def test_positive_ints_required(self, field):
+        with pytest.raises(ConfigurationError, match=field):
+            Scenario(model="RM1", system="PreSto", **{field: 0})
+
+    def test_explicit_provision_needs_workers(self):
+        with pytest.raises(ConfigurationError, match="num_workers"):
+            Scenario(model="RM1", system="PreSto", provision="explicit")
+
+    def test_bad_provision_mode(self):
+        with pytest.raises(ConfigurationError, match="provision"):
+            Scenario(model="RM1", system="PreSto", provision="magic")
+
+    def test_num_workers_implies_explicit(self):
+        scenario = Scenario(model="RM1", system="PreSto", num_workers=4)
+        assert scenario.provision == "explicit"
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="num_workers"):
+            Scenario(model="RM1", system="PreSto", num_workers=0)
+
+    def test_unknown_calibration_field(self):
+        with pytest.raises(ConfigurationError, match="calibration field"):
+            Scenario(model="RM1", system="PreSto", calibration={"warp_speed": 9})
+
+    def test_non_numeric_override(self):
+        with pytest.raises(ConfigurationError, match="must be a number"):
+            Scenario(model="RM1", system="PreSto",
+                     calibration={"ssd_read_bw": "fast"})
+
+    def test_scenario_is_frozen_and_hashable(self):
+        scenario = Scenario(model="RM1", system="PreSto",
+                            calibration={"ssd_read_bw": 4e9})
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            scenario.model = "RM2"
+        assert scenario == Scenario(model="RM1", system="PreSto",
+                                    calibration={"ssd_read_bw": 4e9})
+        assert hash(scenario)
+
+
+class TestScenarioSerialization:
+    def test_dict_round_trip(self):
+        scenario = Scenario(model="RM3", system="U280", num_gpus=4,
+                            num_batches=50, queue_capacity=8,
+                            calibration={"network_bandwidth": 25e9}, seed=7)
+        data = scenario.to_dict()
+        assert data["calibration"] == {"network_bandwidth": 25e9}
+        assert Scenario.from_dict(data) == scenario
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario keys"):
+            Scenario.from_dict({"model": "RM1", "system": "PreSto", "gpus": 8})
+
+    def test_scenario_pickles(self):
+        scenario = Scenario(model="RM1", system="PreSto",
+                            calibration={"ssd_read_bw": 4e9})
+        assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+    def test_calibration_overrides_diff(self):
+        assert calibration_overrides(CALIBRATION) == {}
+        custom = dataclasses.replace(CALIBRATION, ssd_read_bw=4e9)
+        assert calibration_overrides(custom) == {"ssd_read_bw": 4e9}
+        # overrides rebuild the same calibration instance
+        scenario = Scenario(model="RM1", system="PreSto",
+                            calibration=calibration_overrides(custom))
+        assert scenario.build_calibration() == custom
+
+
+class TestScenarioRun:
+    def test_run_returns_uniform_result(self):
+        result = Scenario(model="RM1", system="PreSto", num_gpus=1,
+                          num_batches=100).run()
+        assert isinstance(result, RunResult)
+        assert result.num_workers >= 1
+        assert 0.0 <= result.gpu_utilization <= 1.0
+        assert result.steady_state_utilization > 0.95  # provisioned to demand
+        assert result.headroom >= 1.0
+        assert result.power_watts > 0
+        assert result.capex_dollars > 0
+        assert result.to_dict()["scenario"]["model"] == "RM1"
+        assert "RM1/PreSto" in result.summary()
+
+    def test_starved_scenario_reports_actual_supply(self):
+        """Supply comes from the preprocess manager's production, not a
+        copy of the training rate (the old endtoend bug)."""
+        result = Scenario(model="RM5", system="Disagg", num_gpus=1,
+                          num_workers=1, num_batches=10).run()
+        assert result.starved
+        assert result.preprocessing_throughput < result.training_demand
+        assert result.headroom < 1.0
+
+    def test_provisioned_supply_can_exceed_consumption(self):
+        result = Scenario(model="RM1", system="PreSto", num_gpus=1,
+                          num_batches=100).run()
+        assert result.preprocessing_throughput >= result.training_throughput
+
+    def test_calibration_override_changes_outcome(self):
+        base = Scenario(model="RM5", system="Disagg", num_gpus=1,
+                        num_workers=8, num_batches=20)
+        slow = base.replace(calibration={"cpu_hash_per_element": 1e-6})
+        fast = base.run()
+        throttled = slow.run()
+        assert throttled.preprocessing_throughput < fast.preprocessing_throughput
+
+    def test_explicit_workers_respected(self):
+        result = Scenario(model="RM1", system="PreSto", num_gpus=1,
+                          num_workers=3, num_batches=30).run()
+        assert result.num_workers == 3
+
+
+class TestSweep:
+    def test_grid_order_and_size(self):
+        sweep = Sweep.grid(models=("RM1", "RM2"), systems=("Disagg", "PreSto"),
+                           num_gpus=(1, 8))
+        assert len(sweep) == 8
+        assert sweep[0].label == "RM1/Disagg/1gpu"
+        assert sweep[-1].label == "RM2/PreSto/8gpu"
+
+    def test_grid_accepts_scalars(self):
+        assert len(Sweep.grid(models="RM1", systems="PreSto", num_gpus=1)) == 1
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            Sweep([])
+
+    def test_non_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="Scenario"):
+            Sweep(["RM1/PreSto"])
+
+    def test_parallel_matches_serial_exactly(self):
+        """The acceptance bar: a parallel sweep is byte-identical to the
+        same sweep run serially, in the same order."""
+        sweep = Sweep.grid(models=("RM1", "RM2"), systems=("PreSto", "Disagg"),
+                           num_gpus=(1,), num_batches=20)
+        serial = sweep.run(parallel=False)
+        parallel = sweep.run(parallel=True, processes=2)
+        assert [r.scenario for r in serial] == list(sweep)
+        assert serial == parallel
+        serial_bytes = json.dumps([r.to_dict() for r in serial]).encode()
+        parallel_bytes = json.dumps([r.to_dict() for r in parallel]).encode()
+        assert serial_bytes == parallel_bytes
+
+    def test_dict_round_trip(self):
+        sweep = Sweep.grid(models=("RM1",), systems=("PreSto", "U280"))
+        rebuilt = Sweep.from_dicts(sweep.to_dicts())
+        assert list(rebuilt) == list(sweep)
+
+
+class TestDeprecationShims:
+    def test_all_system_factories_still_constructs(self):
+        spec = get_model("RM2")
+        with pytest.deprecated_call():
+            names = list(ALL_SYSTEM_FACTORIES)
+        for name in BUILTIN_SYSTEMS:
+            assert name in names
+        with pytest.deprecated_call():
+            system = ALL_SYSTEM_FACTORIES["PreSto"](spec)
+        assert system.worker_throughput() > 0
+
+    def test_all_system_factories_keyerror(self):
+        with pytest.deprecated_call():
+            with pytest.raises(KeyError):
+                ALL_SYSTEM_FACTORIES["NoSuchSystem"]
+
+    def test_endtoend_accepts_system_name(self):
+        from repro.core.endtoend import EndToEndSimulation
+
+        sim = EndToEndSimulation(get_model("RM1"), system="PreSto", num_gpus=1)
+        stats = sim.run(num_batches=20, provision_to_demand=True)
+        assert stats.num_batches == 20
+        assert stats.num_workers >= 1
+
+    def test_endtoend_legacy_worker_factory_still_works(self):
+        from repro.core.cpu_worker import CpuPreprocessingWorker
+        from repro.core.endtoend import EndToEndSimulation
+
+        spec = get_model("RM1")
+        sim = EndToEndSimulation(spec, lambda: CpuPreprocessingWorker(spec))
+        stats = sim.run(num_batches=10, num_workers=2)
+        assert stats.num_workers == 2
+
+    def test_endtoend_requires_exactly_one_source(self):
+        from repro.core.cpu_worker import CpuPreprocessingWorker
+        from repro.core.endtoend import EndToEndSimulation
+
+        spec = get_model("RM1")
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            EndToEndSimulation(spec)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            EndToEndSimulation(
+                spec, lambda: CpuPreprocessingWorker(spec), system="PreSto"
+            )
+
+
+class TestProvisioningBoundary:
+    def test_subnormal_demand_gets_a_worker(self):
+        # 5e-324 / 2.0 underflows to 0.0; ceil would allocate zero workers
+        assert workers_for(5e-324, 2.0) == 1
+
+    def test_zero_demand_stays_zero(self):
+        assert workers_for(0.0, 30.0) == 0
+
+    def test_exact_multiple_stays_tight(self):
+        assert workers_for(90.0, 30.0) == 3
