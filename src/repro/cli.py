@@ -13,7 +13,11 @@ Commands:
                         parallel and tabulate the results;
 * ``systems``         — list registered system design points;
 * ``provision <model> [--gpus N]`` — print the T/P provisioning of every
-                        system design point for one Table I model.
+                        system design point for one Table I model;
+* ``bench``           — run the kernel/end-to-end microbenchmarks, print the
+                        timing table and write ``BENCH_kernels.json`` (the
+                        repo's recorded perf trajectory; ``--quick`` for a
+                        CI-sized smoke run).
 """
 
 from __future__ import annotations
@@ -238,6 +242,22 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the microbenchmarks; print a table and write the JSON report."""
+    from repro import benchmark
+
+    report = benchmark.run_benchmarks(quick=args.quick, seed=args.seed)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(benchmark.render_report(report))
+    if args.out:
+        benchmark.write_report(report, args.out)
+        if not args.json:
+            print(f"wrote {args.out}")
+    return 0
+
+
 def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batches", type=int, default=200,
                         help="training iterations to simulate")
@@ -303,6 +323,19 @@ def build_parser() -> argparse.ArgumentParser:
     prov.add_argument("model", choices=MODEL_NAMES + [m.lower() for m in MODEL_NAMES])
     prov.add_argument("--gpus", type=int, default=8)
     prov.set_defaults(func=cmd_provision)
+
+    bench = sub.add_parser(
+        "bench", help="run kernel microbenchmarks, write BENCH_kernels.json"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small inputs for CI smoke runs")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="rng seed for benchmark inputs")
+    bench.add_argument("--out", default="BENCH_kernels.json",
+                       help="JSON report path ('' to skip writing)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the JSON report instead of the table")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

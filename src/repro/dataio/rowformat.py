@@ -14,24 +14,40 @@ Layout::
 Each record serializes one row: label byte, dense float32s, then per sparse
 column a varint length + varint-encoded ids.  Reading *any* column requires
 scanning every record (there is no per-column index by construction).
+
+Although the *format* is row-major, the writer and reader are vectorized:
+the writer precomputes every record's byte offsets from the varint widths
+and scatters whole columns into one output buffer
+(:func:`repro.dataio.encoding.scatter_uvarints`); the reader walks records
+only to locate varint boundaries (via a precomputed continuation-bit index)
+and then gathers labels, dense values, and sparse ids column-at-a-time.
+The output is byte-identical to the original row-by-row writer, which is
+kept as :meth:`RowFileWriter.write_scalar` for cross-checks and benchmarks.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
 from repro.dataio.columnar import TableData
-from repro.dataio.encoding import read_uvarint, write_uvarint
-from repro.dataio.schema import ColumnKind, TableSchema
+from repro.dataio.encoding import (
+    gather_uvarints,
+    read_uvarint,
+    scatter_uvarints,
+    uvarint_lengths,
+    write_uvarint,
+)
+from repro.dataio.schema import TableSchema
 from repro.errors import FormatError, SchemaError
 
 ROW_MAGIC = b"PRSTR\n"
 _FOOTER_LEN = struct.Struct("<I")
 _F32 = struct.Struct("<f")
+_DENSE_FIELD = _F32.size + 1  # float32 payload + null-marker byte
 
 
 class RowFileWriter:
@@ -40,8 +56,8 @@ class RowFileWriter:
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
 
-    def write(self, data: TableData) -> bytes:
-        """Serialize all rows; returns the file bytes."""
+    def _validated_columns(self, data: TableData):
+        """Pull label/dense/sparse arrays out of ``data`` and validate them."""
         label = data.get(self.schema.label.name)
         if label is None:
             raise SchemaError(f"missing label column {self.schema.label.name!r}")
@@ -63,21 +79,10 @@ class RowFileWriter:
             column.validate_values(lengths, values, num_rows)
             offsets = np.concatenate(([0], np.cumsum(lengths)))
             sparse_columns.append((np.asarray(lengths), np.asarray(values), offsets))
+        return label, dense_columns, sparse_columns, num_rows
 
-        body = bytearray(ROW_MAGIC)
-        for row in range(num_rows):
-            body.append(int(label[row]) & 0xFF)
-            for values in dense_columns:
-                value = values[row]
-                body += _F32.pack(0.0 if np.isnan(value) else float(value))
-                body.append(1 if np.isnan(value) else 0)  # null marker
-            for lengths, values, offsets in sparse_columns:
-                row_ids = values[offsets[row] : offsets[row + 1]]
-                write_uvarint(len(row_ids), body)
-                for raw_id in row_ids.tolist():
-                    write_uvarint(int(raw_id) & (2**64 - 1), body)
-
-        footer = json.dumps(
+    def _footer(self, num_rows: int) -> bytes:
+        return json.dumps(
             {
                 "dense": self.schema.dense_names,
                 "sparse": self.schema.sparse_names,
@@ -86,6 +91,111 @@ class RowFileWriter:
             },
             separators=(",", ":"),
         ).encode()
+
+    def write(self, data: TableData) -> bytes:
+        """Serialize all rows; returns the file bytes.
+
+        Builds the file in one pass of whole-column numpy operations: per-row
+        record sizes come from the batch varint widths, every field's byte
+        offset is then known up front, and each column is scattered into the
+        preallocated buffer.
+        """
+        label, dense_columns, sparse_columns, num_rows = self._validated_columns(data)
+
+        num_dense = len(dense_columns)
+        fixed_bytes = 1 + _DENSE_FIELD * num_dense
+
+        # per-column varint widths: the length prefix and each row's id bytes
+        length_widths: List[np.ndarray] = []
+        id_widths: List[np.ndarray] = []
+        width_prefixes: List[np.ndarray] = []  # exclusive cumsum of id_widths
+        raw_ids: List[np.ndarray] = []  # ids as uint64 two's complement
+        row_id_bytes: List[np.ndarray] = []
+        for lengths, values, offsets in sparse_columns:
+            length_widths.append(uvarint_lengths(lengths.astype(np.uint64)))
+            raw = values.astype(np.int64).astype(np.uint64)
+            raw_ids.append(raw)
+            widths = uvarint_lengths(raw)
+            id_widths.append(widths)
+            width_prefix = np.concatenate(([0], np.cumsum(widths)))
+            width_prefixes.append(width_prefix)
+            row_id_bytes.append(width_prefix[offsets[1:]] - width_prefix[offsets[:-1]])
+
+        record_sizes = np.full(num_rows, fixed_bytes, dtype=np.int64)
+        for col in range(len(sparse_columns)):
+            record_sizes += length_widths[col] + row_id_bytes[col]
+        record_ends = len(ROW_MAGIC) + np.cumsum(record_sizes)
+        record_starts = record_ends - record_sizes
+        body_end = len(ROW_MAGIC) + int(record_sizes.sum())
+
+        out = np.empty(body_end, dtype=np.uint8)
+        out[: len(ROW_MAGIC)] = np.frombuffer(ROW_MAGIC, dtype=np.uint8)
+
+        # labels: one byte at the head of every record
+        out[record_starts] = (
+            np.asarray(label).astype(np.int64, copy=False) & 0xFF
+        ).astype(np.uint8)
+
+        # dense fields: 4 little-endian float32 bytes + 1 null-marker byte
+        for index, values in enumerate(dense_columns):
+            base = record_starts + (1 + _DENSE_FIELD * index)
+            nulls = np.isnan(values)
+            packed = np.where(nulls, np.float32(0.0), values).astype("<f4")
+            byte_planes = packed.view(np.uint8).reshape(num_rows, 4)
+            for byte_index in range(4):
+                out[base + byte_index] = byte_planes[:, byte_index]
+            out[base + 4] = nulls.astype(np.uint8)
+
+        # sparse fields: varint length prefix + varint ids, column by column
+        cursor = record_starts + fixed_bytes
+        for col, (lengths, values, offsets) in enumerate(sparse_columns):
+            scatter_uvarints(
+                out, cursor, lengths.astype(np.uint64), length_widths[col]
+            )
+            ids_base = cursor + length_widths[col]
+            if len(values):
+                width_prefix = width_prefixes[col]
+                lengths64 = np.asarray(lengths, dtype=np.int64)
+                # start of id k = its row's ids_base + its width-prefix within the row
+                id_starts = np.repeat(
+                    ids_base - width_prefix[offsets[:-1]], lengths64
+                ) + width_prefix[:-1]
+                scatter_uvarints(out, id_starts, raw_ids[col], id_widths[col])
+            cursor = ids_base + row_id_bytes[col]
+
+        footer = self._footer(num_rows)
+        return b"".join(
+            (
+                out.tobytes(),
+                footer,
+                _FOOTER_LEN.pack(len(footer)),
+                ROW_MAGIC,
+            )
+        )
+
+    def write_scalar(self, data: TableData) -> bytes:
+        """Row-by-row reference writer (the original implementation).
+
+        Kept for byte-identity cross-checks in tests and as the scalar
+        baseline that ``repro bench`` measures the vectorized writer against.
+        """
+        label, dense_columns, sparse_columns, num_rows = self._validated_columns(data)
+
+        body = bytearray(ROW_MAGIC)
+        for row in range(num_rows):
+            body.append(int(label[row]) & 0xFF)
+            for values in dense_columns:
+                value = values[row]
+                is_null = bool(np.isnan(value))
+                body += _F32.pack(0.0 if is_null else float(value))
+                body.append(1 if is_null else 0)  # null marker
+            for lengths, values, offsets in sparse_columns:
+                row_ids = values[offsets[row] : offsets[row + 1]]
+                write_uvarint(len(row_ids), body)
+                for raw_id in row_ids.tolist():
+                    write_uvarint(int(raw_id) & (2**64 - 1), body)
+
+        footer = self._footer(num_rows)
         body += footer
         body += _FOOTER_LEN.pack(len(footer))
         body += ROW_MAGIC
@@ -98,6 +208,12 @@ class RowFileReader:
     ``bytes_scanned`` counts every byte the reader had to touch; for any
     column subset it equals (almost) the whole file — the overfetch the
     paper's columnar layout eliminates.
+
+    Decoding is batched: one pass over the records locates every varint
+    boundary using a precomputed index of bytes with a clear continuation
+    bit (within a varint region, each such byte terminates exactly one
+    varint), then labels, dense planes, and each wanted sparse column are
+    gathered with whole-column numpy operations.
     """
 
     def __init__(self, buffer: bytes) -> None:
@@ -122,6 +238,57 @@ class RowFileReader:
         self.num_rows: int = meta["num_rows"]
         self._body_end = footer_end - footer_len
 
+    def _scan_records(
+        self, body: np.ndarray, terminators: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Walk every record once, returning per-row/column varint geometry.
+
+        Returns ``(record_starts, counts, id_term_index)`` where ``counts``
+        is the (num_rows, num_sparse) matrix of per-row list lengths and
+        ``id_term_index[row, col]`` indexes into ``terminators`` at the first
+        id varint of that row/column.  Only varint *boundaries* are resolved
+        here; id payloads are decoded later in one batch per column.
+        """
+        num_sparse = len(self.sparse_names)
+        fixed_bytes = 1 + _DENSE_FIELD * len(self.dense_names)
+        record_starts = np.empty(self.num_rows, dtype=np.int64)
+        counts = np.empty((self.num_rows, num_sparse), dtype=np.int64)
+        id_term_index = np.empty((self.num_rows, num_sparse), dtype=np.int64)
+
+        buf = self._buf
+        num_terminators = len(terminators)
+        offset = len(ROW_MAGIC)
+        for row in range(self.num_rows):
+            record_starts[row] = offset
+            offset += fixed_bytes
+            if num_sparse:
+                # the fixed section may contain bytes with a clear high bit,
+                # so re-sync the terminator cursor once per row
+                index = int(np.searchsorted(terminators, offset))
+                for col in range(num_sparse):
+                    if index >= num_terminators:
+                        raise FormatError("row records do not align with the footer")
+                    count, offset = read_uvarint(buf, offset)
+                    # a list can't hold more ids than the body has bytes; the
+                    # bound also keeps the int64 store below from overflowing
+                    if count > self._body_end:
+                        raise FormatError(
+                            "implausible sparse list length (corrupt row file)"
+                        )
+                    index += 1  # past the length-prefix terminator
+                    counts[row, col] = count
+                    id_term_index[row, col] = index
+                    index += count
+                    if count:
+                        if index > num_terminators:
+                            raise FormatError(
+                                "row records do not align with the footer"
+                            )
+                        offset = int(terminators[index - 1]) + 1
+        if offset != self._body_end:
+            raise FormatError("row records do not align with the footer")
+        return record_starts, counts, id_term_index
+
     def read_columns(self, names: Iterable[str]) -> TableData:
         """Extract the requested columns — by scanning every record."""
         wanted = set(names)
@@ -131,51 +298,47 @@ class RowFileReader:
         if unknown:
             raise FormatError(f"unknown columns {sorted(unknown)}")
 
-        labels = np.empty(self.num_rows, dtype=np.int8)
-        dense: Dict[str, np.ndarray] = {
-            name: np.empty(self.num_rows, dtype=np.float32)
-            for name in self.dense_names
-            if name in wanted
-        }
-        sparse_lengths: Dict[str, List[int]] = {
-            name: [] for name in self.sparse_names if name in wanted
-        }
-        sparse_values: Dict[str, List[int]] = {
-            name: [] for name in self.sparse_names if name in wanted
-        }
-
-        offset = len(ROW_MAGIC)
-        for row in range(self.num_rows):
-            labels[row] = self._buf[offset]
-            offset += 1
-            for name in self.dense_names:
-                (value,) = _F32.unpack_from(self._buf, offset)
-                is_null = self._buf[offset + _F32.size]
-                offset += _F32.size + 1
-                if name in dense:
-                    dense[name][row] = np.nan if is_null else value
-            for name in self.sparse_names:
-                count, offset = read_uvarint(self._buf, offset)
-                ids: List[int] = []
-                for _ in range(count):
-                    raw, offset = read_uvarint(self._buf, offset)
-                    ids.append(raw)
-                if name in sparse_lengths:
-                    sparse_lengths[name].append(count)
-                    sparse_values[name].extend(ids)
-        if offset != self._body_end:
-            raise FormatError("row records do not align with the footer")
+        body = np.frombuffer(self._buf, dtype=np.uint8, count=self._body_end)
+        # every byte with a clear continuation bit; inside a varint region
+        # each one terminates exactly one varint
+        terminators = np.flatnonzero(body < 0x80)
+        record_starts, counts, id_term_index = self._scan_records(body, terminators)
         # scanning touched the entire record body regardless of selection
         self.bytes_scanned += self._body_end - len(ROW_MAGIC)
 
         out: TableData = {}
         if self.label_name in wanted:
-            out[self.label_name] = labels
-        out.update(dense)
-        for name in sparse_lengths:
+            out[self.label_name] = body[record_starts].astype(np.int8)
+
+        for index, name in enumerate(self.dense_names):
+            if name not in wanted:
+                continue
+            base = record_starts + (1 + _DENSE_FIELD * index)
+            planes = np.empty((self.num_rows, 4), dtype=np.uint8)
+            for byte_index in range(4):
+                planes[:, byte_index] = body[base + byte_index]
+            values = planes.view("<f4").ravel().astype(np.float32)
+            values[body[base + 4] != 0] = np.nan
+            out[name] = values
+
+        for col, name in enumerate(self.sparse_names):
+            if name not in wanted:
+                continue
+            lengths = counts[:, col]
+            total = int(lengths.sum())
+            # ragged ranges: terminator index of every id of this column
+            first = np.repeat(id_term_index[:, col], lengths)
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.concatenate(([0], np.cumsum(lengths)))[:-1], lengths
+            )
+            term_idx = first + within
+            id_terms = terminators[term_idx]
+            # each id starts right after the previous varint's terminator
+            id_starts = terminators[term_idx - 1] + 1
+            raw = gather_uvarints(body, id_starts, id_terms - id_starts + 1)
             out[name] = (
-                np.array(sparse_lengths[name], dtype=np.int32),
-                np.array(sparse_values[name], dtype=np.int64),
+                lengths.astype(np.int32),
+                raw.astype(np.int64),  # two's complement round-trip
             )
         return out
 

@@ -207,25 +207,38 @@ class Warehouse:
         count = len(self._examples) if max_rows is None else min(max_rows, len(self._examples))
         rows, self._examples = self._examples[:count], self._examples[count:]
 
+        # column-major assembly: one np.fromiter pass per output array
+        # instead of a per-example list comprehension per column
         data: TableData = {
-            self.schema.label.name: np.array(
-                [example.label for example in rows], dtype=np.int8
+            self.schema.label.name: np.fromiter(
+                (example.label for example in rows), dtype=np.int8, count=count
             )
         }
+        # indexing per column (not flattening the per-event tuples) keeps the
+        # pre-rewrite semantics for malformed events: extra dense values are
+        # ignored, missing ones raise, and rows never shift out of alignment
         for column_index, column in enumerate(self.schema.dense):
-            data[column.name] = np.array(
-                [example.event.dense[column_index] for example in rows],
+            data[column.name] = np.fromiter(
+                (example.event.dense[column_index] for example in rows),
                 dtype=np.float32,
+                count=count,
             )
         for column_index, column in enumerate(self.schema.sparse):
-            lengths = np.array(
-                [len(example.event.sparse[column_index]) for example in rows],
+            lengths = np.fromiter(
+                (len(example.event.sparse[column_index]) for example in rows),
                 dtype=np.int32,
+                count=count,
             )
-            flat: List[int] = []
-            for example in rows:
-                flat.extend(example.event.sparse[column_index])
-            data[column.name] = (lengths, np.array(flat, dtype=np.int64))
+            values = np.fromiter(
+                (
+                    raw_id
+                    for example in rows
+                    for raw_id in example.event.sparse[column_index]
+                ),
+                dtype=np.int64,
+                count=int(lengths.sum()),
+            )
+            data[column.name] = (lengths, values)
         return data
 
 

@@ -139,7 +139,7 @@ class PreprocessingPipeline:
         """Transform one raw partition into a MiniBatch, counting the work."""
         label_name = self.schema.label.name
         if label_name not in raw:
-            raise PipelineError(f"raw table is missing the label column")
+            raise PipelineError(f"raw table is missing the label column {label_name!r}")
         labels = np.asarray(raw[label_name])
         rows = len(labels)
 

@@ -50,9 +50,15 @@ def sigrid_hash_scalar(value: int, seed: int, max_value: int) -> int:
 
 def _hash64_vec(values: np.ndarray, seed: int) -> np.ndarray:
     """Vectorized splitmix64 over an int64/uint64 column."""
-    h = values.astype(np.uint64, copy=True)
+    h = values.astype(np.uint64, copy=False)
     with np.errstate(over="ignore"):
-        h += np.uint64((_GAMMA * (seed + 1)) & _MASK64)
+        gamma = np.uint64((_GAMMA * (seed + 1)) & _MASK64)
+        if h is values:
+            # uint64 input: the add allocates the owned intermediate
+            h = h + gamma
+        else:
+            # astype already copied; every later op can run in place
+            h += gamma
         h ^= h >> np.uint64(30)
         h *= np.uint64(_MIX1)
         h ^= h >> np.uint64(27)

@@ -10,6 +10,13 @@ Processes are Python generators that yield *events*:
 
 The event queue is a heap ordered by (time, sequence) so simultaneous events
 fire in FIFO order, which keeps runs fully deterministic.
+
+Heap entries are plain ``(time, seq, process, send_value, callback)`` tuples:
+stepping a process pushes the process handle itself (the fast path, no
+closure allocated per event), while arbitrary callbacks — used by resource
+internals such as ``Server`` completions — ride in the last slot as a slow
+path.  The (time, seq) prefix is unique, so tuple comparison never reaches
+the non-comparable payload.
 """
 
 from __future__ import annotations
@@ -21,6 +28,9 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 from repro.errors import SimulationError
 
 ProcessGenerator = Generator[Any, Any, None]
+
+#: one scheduled event: (time, seq, process, send_value, callback)
+_Event = Tuple[float, int, Optional["Process"], Any, Optional[Callable[[], None]]]
 
 
 class Timeout:
@@ -40,6 +50,8 @@ class Timeout:
 class Process:
     """Handle for one running process; usable for completion queries."""
 
+    __slots__ = ("name", "generator", "finished", "finish_time")
+
     def __init__(self, name: str, generator: ProcessGenerator) -> None:
         self.name = name
         self.generator = generator
@@ -54,25 +66,31 @@ class Process:
 class Engine:
     """The simulation kernel: clock, event heap, process scheduler."""
 
+    __slots__ = ("now", "_heap", "_sequence", "_processes")
+
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[_Event] = []
         self._sequence = itertools.count()
         self._processes: List[Process] = []
 
     # -- scheduling --------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` after ``delay`` simulated seconds."""
+        """Run ``callback`` after ``delay`` simulated seconds (slow path)."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), callback))
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._sequence), None, None, callback)
+        )
 
     def spawn(self, name: str, generator: ProcessGenerator) -> Process:
         """Register a process and schedule its first step at the current time."""
         process = Process(name, generator)
         self._processes.append(process)
-        self.schedule(0.0, lambda: self._step(process, None))
+        heapq.heappush(
+            self._heap, (self.now, next(self._sequence), process, None, None)
+        )
         return process
 
     def _step(self, process: Process, send_value: Any) -> None:
@@ -85,8 +103,13 @@ class Engine:
             process.finished = True
             process.finish_time = self.now
             return
-        if isinstance(event, Timeout):
-            self.schedule(event.delay, lambda: self._step(process, None))
+        if type(event) is Timeout or isinstance(event, Timeout):
+            # exact-type check first: the common case skips isinstance, and
+            # no closure is allocated per event either way
+            heapq.heappush(
+                self._heap,
+                (self.now + event.delay, next(self._sequence), process, None, None),
+            )
         elif hasattr(event, "_subscribe"):
             event._subscribe(self, process)
         else:
@@ -96,7 +119,9 @@ class Engine:
 
     def resume(self, process: Process, value: Any = None) -> None:
         """Resume a process blocked on a resource event (used by resources)."""
-        self.schedule(0.0, lambda: self._step(process, value))
+        heapq.heappush(
+            self._heap, (self.now, next(self._sequence), process, value, None)
+        )
 
     # -- running -------------------------------------------------------------
 
@@ -107,20 +132,29 @@ class Engine:
         accidental infinite loops in model code.
         """
         events = 0
-        while self._heap:
-            time, _, callback = self._heap[0]
+        # hoisted out of the hot loop: the heap list, heappop, and the
+        # process-step bound method are all stable for the engine's lifetime
+        heap = self._heap
+        heappop = heapq.heappop
+        step = self._step
+        now = self.now
+        while heap:
+            time = heap[0][0]
             if until is not None and time > until:
                 self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            if time < self.now - 1e-12:
+                return until
+            if time < now - 1e-12:
                 raise SimulationError("event heap went backwards in time")
-            self.now = time
-            callback()
+            _, _, process, send_value, callback = heappop(heap)
+            self.now = now = time
+            if process is not None:
+                step(process, send_value)
+            else:
+                callback()
             events += 1
             if events > max_events:
                 raise SimulationError(f"exceeded {max_events} events; runaway model?")
-        return self.now
+        return now
 
     @property
     def processes(self) -> List[Process]:

@@ -66,3 +66,51 @@ class TestExport:
         assert files == ["fig4.csv", "table1.csv"]
         content = (tmp_path / "fig4.csv").read_text()
         assert "RM5" in content and "367" in content
+
+
+class TestBench:
+    def test_bench_quick_writes_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_kernels.json"
+        # tiny seed-stable run; --quick keeps it a few seconds
+        assert main(["bench", "--quick", "--out", str(out_path)]) == 0
+        table = capsys.readouterr().out
+        assert "varint_encode" in table
+        assert "rowfile_write" in table
+
+        report = json.loads(out_path.read_text())
+        assert report["schema_version"] == 1
+        assert report["quick"] is True
+        ops = {entry["op"] for entry in report["results"]}
+        assert {
+            "varint_encode",
+            "varint_decode",
+            "varint_roundtrip",
+            "rle_encode",
+            "rle_decode",
+            "rowfile_write",
+            "rowfile_read",
+            "ingestion_assembly",
+            "engine_events",
+            "sigrid_hash",
+        } <= ops
+        for entry in report["results"]:
+            assert entry["elapsed_s"] > 0
+            assert entry["ns_per_element"] > 0
+            assert entry["mb_per_s"] > 0
+        # every scalar/vectorized pair carries the measured speedup
+        speedups = [
+            entry["speedup_vs_scalar"]
+            for entry in report["results"]
+            if entry["variant"] == "vectorized" and "speedup_vs_scalar" in entry
+        ]
+        assert len(speedups) >= 5
+        assert all(s > 0 for s in speedups)
+
+    def test_bench_json_mode_skips_table(self, tmp_path, capsys):
+        import json
+
+        assert main(["bench", "--quick", "--json", "--out", ""]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["quick"] is True

@@ -7,11 +7,22 @@ from hypothesis import strategies as st
 
 from repro.dataio.encoding import (
     Encoding,
+    _decode_rle,
+    _decode_rle_scalar,
+    _decode_varint,
+    _decode_varint_scalar,
+    _encode_rle,
+    _encode_rle_scalar,
+    _encode_varint,
+    _encode_varint_scalar,
     best_encoding,
     decode_column,
+    decode_uvarints,
     encode_column,
+    encode_uvarints,
     encoded_size,
     read_uvarint,
+    uvarint_lengths,
     write_uvarint,
 )
 from repro.errors import EncodingError
@@ -100,6 +111,157 @@ class TestCodecRoundtrips:
         column = np.array(values, dtype=np.int64)
         decoded = decode_column(encode_column(column, encoding))
         np.testing.assert_array_equal(decoded, column)
+
+
+#: edge-case columns shared by the vectorized-vs-scalar identity tests
+_EDGE_COLUMNS = [
+    np.array([], dtype=np.int64),
+    np.array([0], dtype=np.int64),
+    np.array([-1], dtype=np.int64),
+    np.array([127, 128, -127, -128], dtype=np.int64),  # 1/2-byte boundary
+    np.array([2**62, -(2**62)], dtype=np.int64),
+    np.array(
+        [np.iinfo(np.int64).max, np.iinfo(np.int64).min], dtype=np.int64
+    ),  # 2^63 boundaries -> 10-byte varints
+    np.array([5, 5, 5, 5], dtype=np.int64),  # one long run
+    np.array([1, 2, 3, 4], dtype=np.int64),  # single-element runs
+    np.array([-3] * 100 + [7] + [-3] * 50, dtype=np.int64),
+    np.arange(-5, 5, dtype=np.int8),
+    np.arange(-300, 300, dtype=np.int32),
+]
+_EDGE_IDS = [f"edge{i}" for i in range(len(_EDGE_COLUMNS))]
+
+
+class TestVectorizedMatchesScalar:
+    """The numpy batch codecs must be byte-identical to the scalar paths."""
+
+    @pytest.mark.parametrize("column", _EDGE_COLUMNS, ids=_EDGE_IDS)
+    def test_varint_encode_identical(self, column):
+        assert _encode_varint(column) == _encode_varint_scalar(column)
+
+    @pytest.mark.parametrize("column", _EDGE_COLUMNS, ids=_EDGE_IDS)
+    def test_varint_decode_identical(self, column):
+        payload = _encode_varint_scalar(column)
+        vectorized = _decode_varint(payload, column.dtype, len(column))
+        scalar = _decode_varint_scalar(payload, column.dtype, len(column))
+        np.testing.assert_array_equal(vectorized, scalar)
+        assert vectorized.dtype == scalar.dtype
+
+    @pytest.mark.parametrize("column", _EDGE_COLUMNS, ids=_EDGE_IDS)
+    def test_rle_encode_identical(self, column):
+        assert _encode_rle(column) == _encode_rle_scalar(column)
+
+    @pytest.mark.parametrize("column", _EDGE_COLUMNS, ids=_EDGE_IDS)
+    def test_rle_decode_identical(self, column):
+        payload = _encode_rle_scalar(column)
+        vectorized = _decode_rle(payload, column.dtype, len(column))
+        scalar = _decode_rle_scalar(payload, column.dtype, len(column))
+        np.testing.assert_array_equal(vectorized, scalar)
+        assert vectorized.dtype == scalar.dtype
+
+    @given(
+        st.lists(
+            st.integers(
+                min_value=np.iinfo(np.int64).min, max_value=np.iinfo(np.int64).max
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_varint_identity_property(self, values):
+        column = np.array(values, dtype=np.int64)
+        payload = _encode_varint(column)
+        assert payload == _encode_varint_scalar(column)
+        np.testing.assert_array_equal(
+            _decode_varint(payload, column.dtype, len(column)),
+            _decode_varint_scalar(payload, column.dtype, len(column)),
+        )
+
+    @given(
+        st.lists(st.integers(min_value=-5, max_value=5), max_size=60),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_rle_identity_property(self, run_values, max_run):
+        rng = np.random.default_rng(abs(hash(tuple(run_values))) % 2**32)
+        runs = rng.integers(1, max_run + 1, len(run_values))
+        column = np.repeat(np.array(run_values, dtype=np.int64), runs)
+        payload = _encode_rle(column)
+        assert payload == _encode_rle_scalar(column)
+        np.testing.assert_array_equal(
+            _decode_rle(payload, column.dtype, len(column)),
+            _decode_rle_scalar(payload, column.dtype, len(column)),
+        )
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_uvarint_batch_matches_scalar(self, values):
+        column = np.array(values, dtype=np.uint64)
+        buf = bytearray()
+        for value in values:
+            write_uvarint(value, buf)
+        payload = encode_uvarints(column)
+        assert payload == bytes(buf)
+        np.testing.assert_array_equal(
+            decode_uvarints(np.frombuffer(payload, dtype=np.uint8), len(values)),
+            column,
+        )
+
+    def test_uvarint_lengths_match_scalar(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**63, 500, dtype=np.uint64)
+        values[:10] = [0, 1, 127, 128, 2**14 - 1, 2**14, 2**63 - 1, 2, 3, 4]
+        for value, width in zip(values.tolist(), uvarint_lengths(values).tolist()):
+            buf = bytearray()
+            write_uvarint(value, buf)
+            assert len(buf) == width
+
+    def test_vectorized_decode_rejects_trailing_bytes(self):
+        payload = _encode_varint(np.array([1, 2, 3], dtype=np.int64))
+        with pytest.raises(EncodingError, match="trailing"):
+            _decode_varint(payload, np.dtype(np.int64), 2)
+
+    def test_vectorized_decode_rejects_truncation(self):
+        with pytest.raises(EncodingError):
+            _decode_varint(b"\x80", np.dtype(np.int64), 1)
+
+    def test_vectorized_decode_rejects_overlong_varint(self):
+        with pytest.raises(EncodingError, match="too long"):
+            _decode_varint(b"\x80" * 10 + b"\x01", np.dtype(np.int64), 1)
+
+    def test_vectorized_rle_rejects_zero_run(self):
+        # pairs: (value=0, run=0)
+        with pytest.raises(EncodingError, match="zero-length"):
+            _decode_rle(b"\x00\x00", np.dtype(np.int64), 4)
+
+    def test_vectorized_rle_rejects_overflowing_runs(self):
+        payload = _encode_rle(np.array([7, 7, 7], dtype=np.int64))
+        with pytest.raises(EncodingError, match="exceed"):
+            _decode_rle(payload, np.dtype(np.int64), 2)
+
+    def test_rle_rejects_runs_that_wrap_int64(self):
+        # crafted run lengths summing to count modulo 2^64 must not slip a
+        # huge np.repeat past validation (previously a hard crash)
+        payload = bytearray()
+        for _ in range(4):
+            write_uvarint(0, payload)  # value
+            write_uvarint(2**62, payload)  # run
+        write_uvarint(0, payload)
+        write_uvarint(5, payload)
+        with pytest.raises(EncodingError, match="exceed"):
+            _decode_rle(bytes(payload), np.dtype(np.int64), 5)
+
+    def test_scalar_decoders_reject_uint64_overflow(self):
+        # a 10-byte varint whose top byte carries bits above 2^64
+        payload = bytes([0xFF] * 9 + [0x7F])
+        with pytest.raises(EncodingError, match="overflows"):
+            _decode_varint_scalar(payload, np.dtype(np.int64), 1)
+        with pytest.raises(EncodingError):
+            _decode_varint(payload, np.dtype(np.int64), 1)
+
+    def test_read_uvarint_caps_at_ten_bytes(self):
+        with pytest.raises(EncodingError, match="too long"):
+            read_uvarint(b"\x80" * 10 + b"\x00", 0)
 
 
 class TestFramingAndErrors:

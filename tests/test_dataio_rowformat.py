@@ -2,9 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dataio.columnar import ColumnarFileReader, write_table
-from repro.dataio.rowformat import RowFileReader, write_row_table
+from repro.dataio.rowformat import RowFileReader, RowFileWriter, write_row_table
 from repro.dataio.schema import TableSchema
 from repro.errors import FormatError, SchemaError
 from repro.features.specs import get_model
@@ -58,6 +60,93 @@ class TestRoundTrip:
         np.testing.assert_array_equal(row_out["cat_0"][1], col_out["cat_0"][1])
 
 
+class TestVectorizedWriterMatchesScalar:
+    """The batch writer must produce byte-identical files to the row loop."""
+
+    @pytest.mark.parametrize(
+        "num_rows,seed",
+        [(0, 0), (1, 1), (2, 2), (17, 3), (64, 4), (200, 5)],
+    )
+    def test_byte_identical(self, num_rows, seed):
+        schema, data = make_table(num_rows=num_rows, seed=seed)
+        writer = RowFileWriter(schema)
+        assert writer.write(data) == writer.write_scalar(data)
+
+    def test_byte_identical_negative_ids(self):
+        schema, data = make_table(num_rows=30, seed=6)
+        name = schema.sparse_names[0]
+        lengths, values = data[name]
+        values = values.copy()
+        values[::3] = -values[::3] - 1  # exercise the two's-complement mask
+        data[name] = (lengths, values)
+        writer = RowFileWriter(schema)
+        buffer = writer.write(data)
+        assert buffer == writer.write_scalar(data)
+        out = RowFileReader(buffer).read_columns([name])
+        np.testing.assert_array_equal(out[name][1], values)
+
+    def test_byte_identical_empty_sparse_rows(self):
+        schema = TableSchema.with_counts(1, 1)
+        num_rows = 8
+        data = {
+            "label": np.ones(num_rows, dtype=np.int8),
+            schema.dense_names[0]: np.zeros(num_rows, dtype=np.float32),
+            schema.sparse_names[0]: (
+                np.zeros(num_rows, dtype=np.int32),
+                np.empty(0, dtype=np.int64),
+            ),
+        }
+        writer = RowFileWriter(schema)
+        buffer = writer.write(data)
+        assert buffer == writer.write_scalar(data)
+        out = RowFileReader(buffer).read_columns(schema.sparse_names)
+        assert out[schema.sparse_names[0]][1].size == 0
+
+    def test_byte_identical_large_ids(self):
+        schema = TableSchema.with_counts(0, 1)
+        data = {
+            "label": np.zeros(3, dtype=np.int8),
+            schema.sparse_names[0]: (
+                np.array([1, 1, 1], dtype=np.int32),
+                np.array(
+                    [np.iinfo(np.int64).max, np.iinfo(np.int64).min, 0],
+                    dtype=np.int64,
+                ),
+            ),
+        }
+        writer = RowFileWriter(schema)
+        buffer = writer.write(data)
+        assert buffer == writer.write_scalar(data)
+        out = RowFileReader(buffer).read_columns(schema.sparse_names)
+        np.testing.assert_array_equal(
+            out[schema.sparse_names[0]][1], data[schema.sparse_names[0]][1]
+        )
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(0, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_byte_identical_property(self, seed, num_rows):
+        schema, data = make_table(num_rows=num_rows, seed=seed)
+        writer = RowFileWriter(schema)
+        assert writer.write(data) == writer.write_scalar(data)
+
+    def test_roundtrip_after_rewrite(self):
+        # full read-back through the vectorized reader stays lossless
+        schema, data = make_table(num_rows=33, seed=9)
+        reader = RowFileReader(write_row_table(schema, data))
+        out = reader.read_columns(
+            ["label"] + schema.dense_names + schema.sparse_names
+        )
+        np.testing.assert_array_equal(out["label"], data["label"])
+        for name in schema.dense_names:
+            np.testing.assert_array_equal(
+                np.nan_to_num(out[name], nan=-1.0),
+                np.nan_to_num(data[name], nan=-1.0),
+            )
+        for name in schema.sparse_names:
+            np.testing.assert_array_equal(out[name][0], data[name][0])
+            np.testing.assert_array_equal(out[name][1], data[name][1])
+
+
 class TestOverfetch:
     def test_scan_cost_independent_of_subset(self):
         schema, data = make_table()
@@ -101,3 +190,34 @@ class TestErrors:
     def test_num_rows_in_footer(self):
         schema, data = make_table(num_rows=17)
         assert RowFileReader(write_row_table(schema, data)).num_rows == 17
+
+
+class TestCorruptFiles:
+    def test_corrupt_huge_length_prefix_raises_format_error(self):
+        # corrupt a sparse length prefix to a 2^63 varint: the reader must
+        # fail with a ReproError, not an uncaught OverflowError
+        schema = TableSchema.with_counts(0, 1)
+        data = {
+            "label": np.zeros(1, dtype=np.int8),
+            schema.sparse_names[0]: (
+                np.array([1], dtype=np.int32),
+                np.array([3], dtype=np.int64),
+            ),
+        }
+        buffer = bytearray(write_row_table(schema, data))
+        # record layout: magic(6) + label(1) + length varint + id varint
+        offset = len(b"PRSTR\n") + 1
+        huge = bytearray()
+        value = 2**63
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                huge.append(byte | 0x80)
+            else:
+                huge.append(byte)
+                break
+        corrupted = buffer[:offset] + huge + buffer[offset + 1 :]
+        reader = RowFileReader(bytes(corrupted))
+        with pytest.raises(FormatError):
+            reader.read_columns(schema.sparse_names)

@@ -8,6 +8,7 @@ from repro.features.ingestion import (
     EventFilter,
     InferenceServerSimulator,
     InteractionEvent,
+    LabeledExample,
     LoggingEngine,
     StreamingLabeler,
     Warehouse,
@@ -181,3 +182,27 @@ class TestEndToEndIngestion:
         t2, s2 = run_ingestion(spec, 100, seed=9)
         assert s1 == s2
         np.testing.assert_array_equal(t1["label"], t2["label"])
+
+
+class TestBatchAssemblyAlignment:
+    def test_extra_dense_values_do_not_shift_rows(self):
+        # an over-long dense tuple on one event must not misalign the
+        # columns assembled for subsequent rows (regression test for the
+        # column-major fromiter rewrite)
+        spec = get_model("RM1")
+        warehouse = Warehouse(spec)
+        events = [
+            impression(1, 1, 0.0, spec=spec),
+            impression(
+                2, 2, 1.0, spec=spec,
+                dense=tuple([2.0] * spec.num_dense) + (99.0,),  # one extra
+            ),
+            impression(3, 3, 2.0, spec=spec,
+                       dense=tuple([3.0] * spec.num_dense)),
+        ]
+        warehouse.ingest(LabeledExample(event=e, label=0) for e in events)
+        table = warehouse.to_table()
+        first_dense = spec.schema().dense_names[0]
+        np.testing.assert_array_equal(
+            table[first_dense], np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        )

@@ -117,6 +117,67 @@ class TestProcessLifecycle:
             engine.schedule(-1.0, lambda: None)
 
 
+class TestHeapEntryFastPath:
+    """Tuple heap entries: callbacks and process steps interleave in
+    (time, sequence) order exactly as the closure-based engine did."""
+
+    def test_callbacks_and_processes_interleave_fifo(self):
+        engine = Engine()
+        log = []
+
+        def proc(name):
+            yield Timeout(1.0)
+            log.append(name)
+
+        engine.spawn("p1", proc("p1"))
+        engine.schedule(1.0, lambda: log.append("cb1"))
+        engine.spawn("p2", proc("p2"))
+        engine.schedule(1.0, lambda: log.append("cb2"))
+        engine.run()
+        # callbacks were enqueued for t=1.0 up front; the processes reach
+        # their own t=1.0 timeouts only after stepping at t=0, so they get
+        # later sequence numbers and fire after the callbacks, FIFO
+        assert log == ["cb1", "cb2", "p1", "p2"]
+
+    def test_resume_value_delivered(self):
+        engine = Engine()
+        seen = []
+
+        class Token:
+            def _subscribe(self, eng, process):
+                eng.resume(process, "payload")
+
+        def proc():
+            value = yield Token()
+            seen.append(value)
+
+        engine.spawn("p", proc())
+        engine.run()
+        assert seen == ["payload"]
+
+    def test_run_until_preserves_pending_callbacks(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, lambda: fired.append(engine.now))
+        engine.run(until=5.0)
+        assert fired == []
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [10.0]
+
+    def test_slots_reject_stray_attributes(self):
+        engine = Engine()
+        with pytest.raises(AttributeError):
+            engine.unknown_attribute = 1
+
+        def proc():
+            yield Timeout(0.0)
+
+        process = engine.spawn("p", proc())
+        with pytest.raises(AttributeError):
+            process.unknown_attribute = 1
+
+
 class TestOrderingProperty:
     @given(
         delays=st.lists(
