@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Per-kernel perf delta between two ``repro bench`` JSON reports.
+
+Usage::
+
+    python benchmarks/perf_trend.py BASELINE.json CURRENT.json
+
+Prints a GitHub-flavoured markdown table comparing ``ns_per_element`` for
+every (op, variant) present in both reports — CI appends it to
+``$GITHUB_STEP_SUMMARY`` after the ``bench --quick`` smoke run.  This is a
+*report*, not a gate: shared runners are noisy and quick mode uses smaller
+inputs than the committed full-mode baseline, so deltas show the trend,
+not a pass/fail verdict.  Exit status is 0 whenever both reports parse.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, Tuple
+
+#: |delta| below this is runner noise; flagged with an em dash, not an arrow
+NOISE_BAND = 0.15
+
+
+def load(path: str) -> Tuple[Dict[Tuple[str, str], dict], dict]:
+    with open(path) as handle:
+        report = json.load(handle)
+    return {
+        (entry["op"], entry["variant"]): entry for entry in report["results"]
+    }, report
+
+
+def direction(ratio: float) -> str:
+    if ratio <= 1.0 - NOISE_BAND:
+        return "faster ⬇"
+    if ratio >= 1.0 + NOISE_BAND:
+        return "slower ⬆"
+    return "—"
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    try:
+        baseline, baseline_report = load(argv[1])
+        current, current_report = load(argv[2])
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"perf-trend: cannot read reports: {exc}", file=sys.stderr)
+        return 2
+
+    base_mode = "quick" if baseline_report.get("quick") else "full"
+    cur_mode = "quick" if current_report.get("quick") else "full"
+    print("### Kernel perf trend")
+    print()
+    print(
+        f"ns/element, current **{cur_mode}** run vs committed "
+        f"**{base_mode}** baseline ({argv[1]}). Report-only — runners are "
+        f"noisy and modes use different input sizes; |Δ| under "
+        f"{NOISE_BAND:.0%} is within the noise band."
+    )
+    print()
+    print("| op | variant | baseline ns/el | current ns/el | ratio | trend |")
+    print("|---|---|---:|---:|---:|---|")
+    shared = [key for key in current if key in baseline]
+    for op, variant in shared:
+        base_ns = baseline[(op, variant)]["ns_per_element"]
+        cur_ns = current[(op, variant)]["ns_per_element"]
+        ratio = cur_ns / base_ns if base_ns else float("inf")
+        print(
+            f"| {op} | {variant} | {base_ns:,.1f} | {cur_ns:,.1f} "
+            f"| {ratio:.2f}x | {direction(ratio)} |"
+        )
+    new_keys = [key for key in current if key not in baseline]
+    if new_keys:
+        print()
+        names = ", ".join(f"`{op}/{variant}`" for op, variant in new_keys)
+        print(f"New since baseline (no comparison): {names}")
+    missing_keys = [key for key in baseline if key not in current]
+    if missing_keys:
+        print()
+        names = ", ".join(f"`{op}/{variant}`" for op, variant in missing_keys)
+        print(
+            f"**Missing from this run** (present in baseline — did a bench "
+            f"section disappear?): {names}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,9 +8,12 @@ recommendation models (Lee, Kim, Rhu; ISCA 2024).  This package provides:
 * calibrated performance models for CPU-centric preprocessing, the PreSto
   SmartSSD accelerator, GPU/FPGA alternatives, networks, and DLRM training;
 * a discrete-event simulator coupling preprocessing to training;
-* the declarative :mod:`repro.api` layer — ``Scenario``, ``Sweep``, and a
-  system registry — the single front door for constructing and running
-  anything in the repo;
+* the declarative :mod:`repro.api` layer — ``Scenario``, ``Sweep``,
+  ``PreprocessJob``, and a system registry — the single front door for
+  constructing and running anything in the repo;
+* a shard-parallel execution engine (:mod:`repro.exec`) that runs the real
+  Extract -> Transform data plane across a process pool with
+  serial-identical output;
 * an experiment harness regenerating every table and figure of the paper's
   evaluation (see :mod:`repro.experiments.report`).
 
@@ -71,6 +74,8 @@ from repro.core.endtoend import EndToEndSimulation
 from repro.core.provision import ProvisioningPlan, provision
 from repro.api import (
     REGISTRY,
+    PreprocessJob,
+    PreprocessRunResult,
     RunResult,
     Scenario,
     Sweep,
@@ -79,8 +84,9 @@ from repro.api import (
     get_system,
     register_system,
 )
+from repro.exec import ShardExecutor
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -110,8 +116,11 @@ __all__ = [
     "ProvisioningPlan",
     "provision",
     "REGISTRY",
+    "PreprocessJob",
+    "PreprocessRunResult",
     "RunResult",
     "Scenario",
+    "ShardExecutor",
     "Sweep",
     "SystemRegistry",
     "available_systems",

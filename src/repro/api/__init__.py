@@ -1,6 +1,6 @@
 """repro.api — the declarative front door for every experiment.
 
-Three pieces:
+Four pieces:
 
 * :class:`SystemRegistry` / :func:`register_system` — a catalog of system
   design points; user systems plug in next to the paper's six;
@@ -8,7 +8,10 @@ Three pieces:
   describing model x system x deployment; ``.run()`` simulates the full
   pipeline and returns a uniform :class:`RunResult`;
 * :class:`Sweep` — a grid of scenarios executed serially or across a
-  ``multiprocessing`` pool with deterministic result ordering.
+  ``multiprocessing`` pool with deterministic result ordering;
+* :class:`PreprocessJob` — the data-plane scenario: one declarative
+  sharded preprocessing run through :class:`repro.exec.ShardExecutor`,
+  with a content digest proving parallel == serial output.
 """
 
 from repro.api.registry import (
@@ -17,6 +20,11 @@ from repro.api.registry import (
     available_systems,
     get_system,
     register_system,
+)
+from repro.api.preprocess import (
+    PreprocessJob,
+    PreprocessRunResult,
+    minibatch_digest,
 )
 from repro.api.result import RunResult
 from repro.api.scenario import PROVISION_MODES, Scenario, calibration_overrides
@@ -33,4 +41,7 @@ __all__ = [
     "Scenario",
     "calibration_overrides",
     "Sweep",
+    "PreprocessJob",
+    "PreprocessRunResult",
+    "minibatch_digest",
 ]

@@ -238,7 +238,7 @@ def _row_table(total_ids: int, rng: np.random.Generator):
 def bench_rowformat(
     size: int, reps: int, rng: np.random.Generator
 ) -> List[BenchResult]:
-    """Row-format file write (scalar vs vectorized) and read-back."""
+    """Row-format write, record scan (scalar vs batched), and read-back."""
     from repro.dataio.rowformat import RowFileReader, RowFileWriter
 
     schema, data = _row_table(size, rng)
@@ -256,6 +256,27 @@ def bench_rowformat(
         reps,
         _check_bytes,
     )
+
+    # record-boundary discovery alone: the per-row reference walk vs the
+    # batched scan (the read path's former bottleneck)
+    reader = RowFileReader(file_bytes)
+    body = np.frombuffer(file_bytes, dtype=np.uint8, count=reader._body_end)
+    terminators = np.flatnonzero(body < 0x80)
+
+    def _check_scan(a, b) -> None:
+        if not all(np.array_equal(x, y) for x, y in zip(a, b)):
+            raise ReproError("batched scan geometry differs from scalar walk")
+
+    results += _pair(
+        "rowfile_scan",
+        elements,
+        len(file_bytes),
+        lambda: reader._scan_records_scalar(body, terminators),
+        lambda: reader._scan_records(body, terminators),
+        reps,
+        _check_scan,
+    )
+
     wanted = ["label"] + schema.dense_names + schema.sparse_names
     read_t = _best_of(lambda: RowFileReader(file_bytes).read_columns(wanted), reps)
     results.append(
@@ -318,6 +339,95 @@ def bench_engine(size: int, reps: int) -> List[BenchResult]:
     return [_result("engine_events", "vectorized", events, events * 40, elapsed)]
 
 
+def bench_pipeline(size: int, reps: int, seed: int) -> List[BenchResult]:
+    """Fused Transform phase: cached per-pipeline kernels vs naive driver.
+
+    The "scalar" baseline is what a driver pays when it treats the pipeline
+    as per-batch state (a fresh :class:`PreprocessingPipeline` — boundary
+    generation, validation, hash constants — for every partition); the
+    "vectorized" side is one prepared pipeline's fused ``run_many``.
+    """
+    from repro.api.preprocess import minibatch_digest
+    from repro.features.specs import get_model
+    from repro.features.synthetic import SyntheticTableGenerator
+    from repro.ops.pipeline import PreprocessingPipeline
+
+    spec = get_model("RM1")
+    counts = spec.num_dense + spec.num_generated_sparse + int(
+        round(spec.sparse_elements_per_sample())
+    )
+    num_rows = max(size // counts, 256)
+    rows_per_batch = min(2048, num_rows)
+    generator = SyntheticTableGenerator(spec, seed=seed)
+    shards = [
+        generator.generate(min(rows_per_batch, num_rows - start), partition=p)
+        for p, start in enumerate(range(0, num_rows, rows_per_batch))
+    ]
+    elements = counts * num_rows
+    pipeline = PreprocessingPipeline(spec, generator_seed=seed)
+
+    def naive():
+        return [
+            PreprocessingPipeline(spec, generator_seed=seed).run(raw, batch_id=k)
+            for k, raw in enumerate(shards)
+        ]
+
+    def fused():
+        return pipeline.run_many(shards)
+
+    def check(a, b) -> None:
+        if minibatch_digest([x[0] for x in a]) != minibatch_digest(
+            [x[0] for x in b]
+        ):
+            raise ReproError("fused pipeline output differs from naive driver")
+
+    payload = sum(batch.nbytes() for batch, _ in fused())
+    return _pair(
+        "pipeline_fused",
+        elements,
+        payload,
+        naive,
+        fused,
+        max(1, reps // 2),
+        check,
+    )
+
+
+def bench_shard_executor(size: int, reps: int, seed: int) -> List[BenchResult]:
+    """End-to-end sharded data plane: partition -> write -> read -> transform."""
+    from repro.exec.executor import ShardExecutor, ShardRunStats
+    from repro.features.specs import get_model
+    from repro.features.synthetic import SyntheticTableGenerator
+    from repro.ops.pipeline import PreprocessingPipeline
+
+    spec = get_model("RM1")
+    counts = spec.num_dense + spec.num_generated_sparse + int(
+        round(spec.sparse_elements_per_sample())
+    )
+    num_rows = max(size // counts, 256)
+    generator = SyntheticTableGenerator(spec, seed=seed)
+    data = generator.generate(num_rows)
+    pipeline = PreprocessingPipeline(spec, generator_seed=seed)
+    executor = ShardExecutor(
+        pipeline, rows_per_shard=min(2048, num_rows), processes=1
+    )
+
+    def run():
+        return executor.run(data, parallel=False)
+
+    stats = ShardRunStats.from_results(run())
+    elapsed = _best_of(run, max(1, reps // 2))
+    return [
+        _result(
+            "shard_executor",
+            "vectorized",
+            stats.transform_elements,
+            stats.file_bytes,
+            elapsed,
+        )
+    ]
+
+
 def bench_ops(size: int, reps: int, rng: np.random.Generator) -> List[BenchResult]:
     """The numpy preprocessing kernels the Transform phase is built from."""
     from repro.ops.bucketize import bucketize
@@ -359,6 +469,8 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> Dict[str, object]:
     results += bench_ingestion(min(size, 200_000), reps, seed + 3)
     results += bench_engine(mode["engine_size"], reps)
     results += bench_ops(size, reps, np.random.default_rng(seed + 4))
+    results += bench_pipeline(min(size, 500_000), reps, seed + 5)
+    results += bench_shard_executor(min(size, 500_000), reps, seed + 6)
     return {
         "schema_version": _SCHEMA_VERSION,
         "quick": quick,

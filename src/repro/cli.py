@@ -14,6 +14,11 @@ Commands:
 * ``systems``         — list registered system design points;
 * ``provision <model> [--gpus N]`` — print the T/P provisioning of every
                         system design point for one Table I model;
+* ``preprocess``      — actually run the sharded preprocessing data plane
+                        (write -> read -> transform across a process pool)
+                        for one model and print the throughput/digest
+                        summary; ``--check`` proves the parallel run is
+                        byte-identical to the serial pipeline;
 * ``bench``           — run the kernel/end-to-end microbenchmarks, print the
                         timing table and write ``BENCH_kernels.json`` (the
                         repo's recorded perf trajectory; ``--quick`` for a
@@ -25,9 +30,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Dict, List, Optional
 
-from repro.api import REGISTRY, RunResult, Scenario, Sweep, available_systems
+from repro.api import (
+    REGISTRY,
+    PreprocessJob,
+    RunResult,
+    Scenario,
+    Sweep,
+    available_systems,
+)
 from repro.errors import ReproError
 from repro.experiments import report as report_mod
 from repro.experiments.common import format_table
@@ -242,6 +255,62 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_preprocess(args: argparse.Namespace) -> int:
+    """Run the sharded preprocessing data plane and summarize it."""
+    try:
+        job = PreprocessJob(
+            model=args.model,
+            num_rows=args.rows,
+            num_shards=args.shards,
+            processes=args.processes,
+            seed=args.seed,
+        )
+        start = time.perf_counter()
+        result = job.run(parallel=not args.serial)
+        elapsed = time.perf_counter() - start
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+    check_digest = None
+    if args.check and not args.serial:
+        check_digest = job.run(parallel=False).digest
+        if check_digest != result.digest:
+            raise SystemExit(
+                f"digest mismatch: parallel {result.digest} != "
+                f"serial {check_digest} — sharded run is not serial-identical"
+            )
+
+    stats = result.stats
+    payload = {
+        "job": job.to_dict(),
+        "num_shards": stats.num_shards,
+        "num_rows": stats.num_rows,
+        "file_bytes": stats.file_bytes,
+        "bytes_read": stats.bytes_read,
+        "transform_elements": stats.transform_elements,
+        "elapsed_s": elapsed,
+        "rows_per_s": stats.num_rows / elapsed if elapsed else 0.0,
+        "digest": result.digest,
+        "serial_identical": (
+            check_digest == result.digest if check_digest else None
+        ),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"Preprocess {job.label}" + (" (serial)" if args.serial else ""))
+    print(f"  shards              {stats.num_shards}")
+    print(f"  rows                {stats.num_rows}")
+    print(f"  transform elements  {stats.transform_elements}")
+    print(f"  extract bytes       {stats.bytes_read} of {stats.file_bytes}")
+    print(f"  wall time           {elapsed:.3f} s "
+          f"({payload['rows_per_s']:,.0f} rows/s)")
+    print(f"  digest              {result.digest}")
+    if check_digest is not None:
+        print("  serial check        byte-identical")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the microbenchmarks; print a table and write the JSON report."""
     from repro import benchmark
@@ -323,6 +392,28 @@ def build_parser() -> argparse.ArgumentParser:
     prov.add_argument("model", choices=MODEL_NAMES + [m.lower() for m in MODEL_NAMES])
     prov.add_argument("--gpus", type=int, default=8)
     prov.set_defaults(func=cmd_provision)
+
+    prep = sub.add_parser(
+        "preprocess",
+        help="run the sharded preprocessing data plane for one model",
+    )
+    prep.add_argument("--model", default="RM1",
+                      help="Table I model (default RM1)")
+    prep.add_argument("--rows", type=int, default=8192,
+                      help="synthetic rows to preprocess")
+    prep.add_argument("--shards", type=int, default=1,
+                      help="number of partitions / mini-batches")
+    prep.add_argument("--processes", type=int, default=None,
+                      help="pool size (default: CPU count)")
+    prep.add_argument("--seed", type=int, default=0,
+                      help="synthetic data seed")
+    prep.add_argument("--serial", action="store_true",
+                      help="run shards inline instead of across a pool")
+    prep.add_argument("--check", action="store_true",
+                      help="also run serially and assert byte-identical output")
+    prep.add_argument("--json", action="store_true",
+                      help="emit the summary as JSON")
+    prep.set_defaults(func=cmd_preprocess)
 
     bench = sub.add_parser(
         "bench", help="run kernel microbenchmarks, write BENCH_kernels.json"

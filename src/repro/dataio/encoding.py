@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import enum
 import struct
+import sys
 import zlib
 from typing import Tuple
 
@@ -199,20 +200,28 @@ def scatter_uvarints(
                 cursor += 1
 
 
-def gather_uvarints(
-    buffer: np.ndarray, starts: np.ndarray, widths: np.ndarray
-) -> np.ndarray:
-    """Decode varints at known positions of a uint8 buffer into uint64.
+# SWAR compaction masks: squeeze the 7 payload bits of each little-endian
+# byte lane of a uint64 together (8 bytes -> one 56-bit value) in 3 passes
+_SWAR_M1 = np.uint64(0x7F007F007F007F00)
+_SWAR_M1B = np.uint64(0x007F007F007F007F)
+_SWAR_M2 = np.uint64(0x3FFF00003FFF0000)
+_SWAR_M2B = np.uint64(0x00003FFF00003FFF)
+_SWAR_M3 = np.uint64(0x0FFFFFFF00000000)
+_SWAR_M3B = np.uint64(0x000000000FFFFFFF)
+#: payload mask per byte width (widths 9/10 are handled bytewise)
+_SWAR_WIDTH_MASK = np.array(
+    [(1 << (7 * k)) - 1 for k in range(9)] + [0, 0], dtype=np.uint64
+)
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
-    The caller supplies the start offset and byte width of every varint
-    (normally found by locating continuation-bit boundaries, see
-    :func:`decode_uvarints`); decoding is then one gather/shift/or per byte
-    position of each width class.
-    """
-    count = len(starts)
-    values = np.zeros(count, dtype=np.uint64)
-    if count == 0:
-        return values
+
+def _gather_uvarints_bytewise(
+    buffer: np.ndarray,
+    starts: np.ndarray,
+    widths: np.ndarray,
+    values: np.ndarray,
+) -> None:
+    """Per-width-class gather/shift/or decode into ``values`` (in place)."""
     min_width = int(widths.min())
     max_width = int(widths.max())
     if max_width > _MAX_UVARINT_BYTES:
@@ -234,6 +243,57 @@ def gather_uvarints(
             target |= chunk << np.uint64(7 * group)
         if min_width != max_width:
             values[index] = target
+
+
+def gather_uvarints(
+    buffer: np.ndarray, starts: np.ndarray, widths: np.ndarray
+) -> np.ndarray:
+    """Decode varints at known positions of a uint8 buffer into uint64.
+
+    The caller supplies the start offset and byte width of every varint
+    (normally found by locating continuation-bit boundaries, see
+    :func:`decode_uvarints`).  On little-endian hosts each varint of width
+    <= 8 is fetched as one unaligned uint64 load and its 7-bit groups are
+    compacted with three SWAR mask/shift passes over the whole column; 9-
+    and 10-byte varints (and big-endian hosts) take the per-byte-width-class
+    gather path.
+    """
+    count = len(starts)
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64)
+    max_width = int(widths.max())
+    if max_width > _MAX_UVARINT_BYTES:
+        raise EncodingError("varint too long")
+    if int(widths.min()) < 1:
+        raise EncodingError("varint widths must be positive")
+    if not _LITTLE_ENDIAN:
+        values = np.zeros(count, dtype=np.uint64)
+        _gather_uvarints_bytewise(buffer, starts, widths, values)
+        return values
+
+    # every varint is read as 8 bytes; pad the tail so the last loads stay
+    # in bounds (callers with trailing slack, e.g. a file footer, avoid this)
+    buf = np.ascontiguousarray(buffer)
+    highest = int(starts.max())
+    if highest + 8 > len(buf):
+        padded = np.empty(highest + 8, dtype=np.uint8)
+        padded[: len(buf)] = buf
+        padded[len(buf) :] = 0
+        buf = padded
+    u64 = np.ndarray((len(buf) - 7,), dtype="<u8", buffer=buf.data, strides=(1,))
+    x = u64[starts]
+    x = ((x & _SWAR_M1) >> np.uint64(1)) | (x & _SWAR_M1B)
+    x = ((x & _SWAR_M2) >> np.uint64(2)) | (x & _SWAR_M2B)
+    x = ((x & _SWAR_M3) >> np.uint64(4)) | (x & _SWAR_M3B)
+    x &= _SWAR_WIDTH_MASK[widths]
+    values = x  # owned by the gather above; safe to patch wide slots below
+    if max_width > 8:
+        wide = np.flatnonzero(widths > 8)
+        wide_values = np.zeros(len(wide), dtype=np.uint64)
+        _gather_uvarints_bytewise(
+            buffer, starts[wide], widths[wide], wide_values
+        )
+        values[wide] = wide_values
     return values
 
 

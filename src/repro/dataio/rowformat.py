@@ -18,18 +18,35 @@ scanning every record (there is no per-column index by construction).
 Although the *format* is row-major, the writer and reader are vectorized:
 the writer precomputes every record's byte offsets from the varint widths
 and scatters whole columns into one output buffer
-(:func:`repro.dataio.encoding.scatter_uvarints`); the reader walks records
-only to locate varint boundaries (via a precomputed continuation-bit index)
-and then gathers labels, dense values, and sparse ids column-at-a-time.
-The output is byte-identical to the original row-by-row writer, which is
-kept as :meth:`RowFileWriter.write_scalar` for cross-checks and benchmarks.
+(:func:`repro.dataio.encoding.scatter_uvarints`); the reader discovers
+record boundaries in batch (:meth:`RowFileReader._scan_records`) and then
+gathers labels, dense values, and sparse ids column-at-a-time.  The output
+is byte-identical to the original row-by-row writer and record walker,
+which are kept as :meth:`RowFileWriter.write_scalar` and
+:meth:`RowFileReader._scan_records_scalar` for cross-checks and benchmarks.
+
+Batched record-boundary discovery works on the continuation-bit index (the
+positions of all bytes with a clear high bit — every varint ends on one,
+but the fixed label/dense section emits spurious entries too):
+
+1. a sliding window count of index entries over the fixed-section width
+   re-synchronizes the index cursor at each record start *exactly* (no
+   per-row ``searchsorted``);
+2. a single pass over the rows chases record ends through precomputed
+   byte tables — a handful of C-speed lookups per row instead of per-row
+   varint decoding;
+3. every per-row quantity the chase produced is then re-derived and
+   verified with whole-column numpy operations; any file the fast path
+   cannot prove correct (multi-byte list-length varints, corruption) is
+   re-scanned by the retained scalar walker, which either succeeds or
+   raises the proper :class:`FormatError`.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +65,42 @@ ROW_MAGIC = b"PRSTR\n"
 _FOOTER_LEN = struct.Struct("<I")
 _F32 = struct.Struct("<f")
 _DENSE_FIELD = _F32.size + 1  # float32 payload + null-marker byte
+
+#: below this row count the batched scan's setup costs exceed the scalar
+#: walk; tiny files take the scalar path directly
+_MIN_BATCH_SCAN_ROWS = 64
+
+
+def _window_counts(flags: np.ndarray, width: int) -> np.ndarray:
+    """Sliding sum of a 0/1 uint8 array over ``[x, x + width)`` windows.
+
+    Built by pairwise doubling (log2(width) adds over the array) instead of
+    a cumulative sum, which is both faster and dtype-stable: the result
+    fits uint8 for widths up to 255 and uint16 beyond.
+    """
+    if width > 255:
+        flags = flags.astype(np.uint16)
+    parts: List[Tuple[np.ndarray, int]] = []
+    cur, cur_width = flags, 1
+    remaining = width
+    while remaining:
+        if remaining & 1:
+            parts.append((cur, cur_width))
+        remaining >>= 1
+        if remaining:
+            cur = cur[:-cur_width] + cur[cur_width:]
+            cur_width *= 2
+    acc: Optional[np.ndarray] = None
+    offset = 0
+    for arr, part_width in parts:
+        seg = arr[offset:]
+        if acc is None:
+            acc = seg  # read-only view; later combines allocate fresh arrays
+        else:
+            n = min(len(acc), len(seg))
+            acc = acc[:n] + seg[:n]
+        offset += part_width
+    return acc
 
 
 class RowFileWriter:
@@ -241,13 +294,148 @@ class RowFileReader:
     def _scan_records(
         self, body: np.ndarray, terminators: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Walk every record once, returning per-row/column varint geometry.
+        """Locate every record, returning per-row/column varint geometry.
 
         Returns ``(record_starts, counts, id_term_index)`` where ``counts``
         is the (num_rows, num_sparse) matrix of per-row list lengths and
         ``id_term_index[row, col]`` indexes into ``terminators`` at the first
         id varint of that row/column.  Only varint *boundaries* are resolved
         here; id payloads are decoded later in one batch per column.
+
+        Boundary discovery is batched (see the module docstring); the fast
+        path returns ``None`` internally when it cannot *prove* its answer
+        (multi-byte length varints, tiny or corrupt files), in which case
+        the retained scalar walker decides.
+        """
+        result = self._scan_records_batch(body, terminators)
+        if result is not None:
+            return result
+        return self._scan_records_scalar(body, terminators)
+
+    def _scan_records_batch(
+        self, body: np.ndarray, terminators: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Batched record-boundary discovery; ``None`` means "use scalar".
+
+        One C-speed chase pass finds each record's final varint terminator;
+        everything else — re-synchronization counts, list lengths, id
+        geometry, and the full verification that every boundary is exactly
+        what a scalar walk would produce — is whole-column numpy.  The
+        verification closes an induction (record 0's start is fixed, each
+        verified record yields the next start), so a non-``None`` return is
+        correct by construction, never heuristic.
+        """
+        num_rows = self.num_rows
+        num_sparse = len(self.sparse_names)
+        fixed_bytes = 1 + _DENSE_FIELD * len(self.dense_names)
+        body_end = self._body_end
+        magic = len(ROW_MAGIC)
+
+        if num_sparse == 0:
+            # fixed-stride records: pure arithmetic
+            if magic + num_rows * fixed_bytes != body_end:
+                return None  # let the scalar walker raise the precise error
+            starts = magic + fixed_bytes * np.arange(num_rows, dtype=np.int64)
+            empty = np.empty((num_rows, 0), dtype=np.int64)
+            return starts, empty, empty.copy()
+        if num_rows < _MIN_BATCH_SCAN_ROWS or len(terminators) == 0:
+            return None
+
+        buf = self._buf
+        num_terminators = len(terminators)
+        terms32 = terminators.astype(np.int32)
+        window = _window_counts((body < 0x80).view(np.uint8), fixed_bytes)
+        window_bytes = memoryview(np.ascontiguousarray(window))
+        # byte value at each terminator: the value of any 1-byte varint there
+        term_bytes = memoryview(body[terms32])
+        term_pos = memoryview(terms32)
+
+        # exact scalar parse of row 0 seeds the chase (handles multi-byte
+        # length varints in the first record for free)
+        try:
+            offset = magic + fixed_bytes
+            index = int(np.searchsorted(terminators, offset))
+            for _ in range(num_sparse):
+                count, offset = read_uvarint(buf, offset)
+                if count > body_end or index + count >= num_terminators:
+                    return None
+                index += 1 + count
+                if count:
+                    offset = term_pos[index - 1] + 1
+            end = index - 1
+        except Exception:  # truncated/corrupt head: scalar path decides
+            return None
+
+        ends: List[int] = [end]
+        append = ends.append
+        last_col = num_sparse - 1
+        try:
+            for _ in range(num_rows - 1):
+                record_start = term_pos[end] + 1
+                index = end + 1 + window_bytes[record_start]
+                count = buf[record_start + fixed_bytes]
+                for _ in range(last_col):
+                    index += count + 1
+                    count = term_bytes[index]
+                end = index + count
+                append(end)
+        except IndexError:
+            return None  # chase ran off the index: scalar path decides
+
+        ends_arr = np.fromiter(ends, dtype=np.int64, count=num_rows)
+        if int(ends_arr[-1]) >= num_terminators:
+            return None
+        if int(terminators[ends_arr[-1]]) != body_end - 1:
+            return None
+
+        # re-derive every per-row quantity in batch and verify the chase
+        record_starts = np.empty(num_rows, dtype=np.int64)
+        record_starts[0] = magic
+        np.add(terminators[ends_arr[:-1]], 1, out=record_starts[1:])
+        first_varint = record_starts + fixed_bytes
+        if int(first_varint[-1]) >= body_end:
+            return None
+        cursor = np.empty(num_rows, dtype=np.int64)
+        cursor[0] = np.searchsorted(terminators, magic + fixed_bytes)
+        np.add(
+            ends_arr[:-1],
+            1 + window[first_varint[1:] - fixed_bytes],
+            out=cursor[1:],
+        )
+        counts = np.empty((num_rows, num_sparse), dtype=np.int64)
+        id_term_index = np.empty((num_rows, num_sparse), dtype=np.int64)
+        first_bytes = body[first_varint]
+        if np.any(first_bytes >= 0x80):
+            return None  # multi-byte list length: scalar path handles it
+        col_counts = first_bytes.astype(np.int64)
+        for col in range(num_sparse):
+            if col:
+                cursor = cursor + counts[:, col - 1] + 1
+                if int(cursor.max()) >= num_terminators:
+                    return None
+                # the length varint must directly follow the previous
+                # terminator (i.e. be 1 byte) for its byte to be its value
+                if np.any(
+                    terminators[cursor] - terminators[cursor - 1] != 1
+                ):
+                    return None
+                col_counts = body[terminators[cursor]].astype(np.int64)
+                if np.any(col_counts >= 0x80):
+                    return None
+            counts[:, col] = col_counts
+            id_term_index[:, col] = cursor + 1
+        if not np.array_equal(cursor + counts[:, -1], ends_arr):
+            return None
+        return record_starts, counts, id_term_index
+
+    def _scan_records_scalar(
+        self, body: np.ndarray, terminators: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row-at-a-time reference scan (the original implementation).
+
+        Kept as the correctness oracle for the batched scan (property tests
+        assert identical geometry), the fallback for files the fast path
+        cannot prove, and the scalar baseline ``repro bench`` measures.
         """
         num_sparse = len(self.sparse_names)
         fixed_bytes = 1 + _DENSE_FIELD * len(self.dense_names)
@@ -321,25 +509,48 @@ class RowFileReader:
             values[body[base + 4] != 0] = np.nan
             out[name] = values
 
-        for col, name in enumerate(self.sparse_names):
-            if name not in wanted:
-                continue
-            lengths = counts[:, col]
-            total = int(lengths.sum())
-            # ragged ranges: terminator index of every id of this column
-            first = np.repeat(id_term_index[:, col], lengths)
-            within = np.arange(total, dtype=np.int64) - np.repeat(
-                np.concatenate(([0], np.cumsum(lengths)))[:-1], lengths
-            )
-            term_idx = first + within
-            id_terms = terminators[term_idx]
-            # each id starts right after the previous varint's terminator
-            id_starts = terminators[term_idx - 1] + 1
-            raw = gather_uvarints(body, id_starts, id_terms - id_starts + 1)
+        sparse_wanted = [
+            (col, name)
+            for col, name in enumerate(self.sparse_names)
+            if name in wanted
+        ]
+        if not sparse_wanted:
+            return out
+
+        # all requested columns' ids in one ragged gather: every id varint
+        # starts right after the previous terminator, so its width is the
+        # terminator-position delta and one batch decode covers everything
+        terms32 = terminators.astype(np.int32)
+        deltas = np.empty(len(terms32), dtype=np.int32)
+        if len(terms32):
+            deltas[0] = terms32[0] + 1
+            np.subtract(terms32[1:], terms32[:-1], out=deltas[1:])
+        first = np.concatenate(
+            [id_term_index[:, col] for col, _ in sparse_wanted]
+        )
+        lengths = np.concatenate([counts[:, col] for col, _ in sparse_wanted])
+        total = int(lengths.sum())
+        run_offsets = np.concatenate(([0], np.cumsum(lengths)))
+        term_idx = np.repeat(first, lengths) + (
+            np.arange(total, dtype=np.int64) - np.repeat(run_offsets[:-1], lengths)
+        )
+        id_terms = terms32[term_idx]
+        widths = deltas[term_idx]
+        # the file buffer extends past the body (footer + trailing magic),
+        # so the batch decoder's 8-byte loads never need padding
+        full = np.frombuffer(self._buf, dtype=np.uint8)
+        raw = gather_uvarints(full, id_terms - widths + 1, widths)
+        ids = raw.view(np.int64)  # two's complement round-trip
+
+        offset = 0
+        for col, name in sparse_wanted:
+            col_lengths = counts[:, col]
+            col_total = int(col_lengths.sum())
             out[name] = (
-                lengths.astype(np.int32),
-                raw.astype(np.int64),  # two's complement round-trip
+                col_lengths.astype(np.int32),
+                ids[offset : offset + col_total].copy(),
             )
+            offset += col_total
         return out
 
 

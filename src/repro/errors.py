@@ -50,3 +50,7 @@ class ProvisioningError(ReproError):
 
 class ConfigurationError(ReproError):
     """A system/experiment configuration is internally inconsistent."""
+
+
+class ExecutionError(ReproError):
+    """A sharded preprocessing execution was configured or driven wrongly."""

@@ -1,0 +1,23 @@
+"""Shard-parallel preprocessing execution (the functional data plane).
+
+While :mod:`repro.core` *simulates* preprocessing systems, this package
+*executes* the real Extract -> Transform path over sharded data:
+:class:`ShardExecutor` maps :class:`~repro.dataio.partition.RowPartitioner`
+partitions through write -> read -> :class:`~repro.ops.pipeline.
+PreprocessingPipeline` across a ``multiprocessing`` pool with
+deterministic, serial-identical minibatch ordering.
+"""
+
+from repro.exec.executor import (
+    ShardExecutor,
+    ShardResult,
+    ShardRunStats,
+    run_preprocessing,
+)
+
+__all__ = [
+    "ShardExecutor",
+    "ShardResult",
+    "ShardRunStats",
+    "run_preprocessing",
+]

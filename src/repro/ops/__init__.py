@@ -10,8 +10,13 @@ These kernels implement the exact transformations the paper offloads:
 * :class:`PreprocessingPipeline` — the full per-model op graph.
 """
 
-from repro.ops.bucketize import bucketize, search_bucket_id
-from repro.ops.sigridhash import sigrid_hash, sigrid_hash_scalar, hash64
+from repro.ops.bucketize import Bucketizer, bucketize, search_bucket_id
+from repro.ops.sigridhash import (
+    SigridHasher,
+    hash64,
+    sigrid_hash,
+    sigrid_hash_scalar,
+)
 from repro.ops.lognorm import log_normalize
 from repro.ops.clip import clamp, truncate_list
 from repro.ops.fill import fill_dense, fill_sparse
@@ -19,8 +24,10 @@ from repro.ops.format import to_minibatch
 from repro.ops.pipeline import PreprocessingPipeline, OpCounts
 
 __all__ = [
+    "Bucketizer",
     "bucketize",
     "search_bucket_id",
+    "SigridHasher",
     "sigrid_hash",
     "sigrid_hash_scalar",
     "hash64",

@@ -46,21 +46,49 @@ def search_bucket_id(value: float, boundaries: np.ndarray) -> int:
     return lo
 
 
+class Bucketizer:
+    """Bucketize with the boundary structure validated and cached once.
+
+    A :class:`~repro.ops.pipeline.PreprocessingPipeline` digitizes the same
+    dense features against the same boundaries for every batch; validating
+    the ``m``-edge array (monotonicity, shape) on every call is pure
+    per-batch overhead.  Constructing a ``Bucketizer`` performs the checks
+    and dtype conversion once; calling it is just the binary search.
+    """
+
+    __slots__ = ("boundaries",)
+
+    def __init__(self, boundaries: np.ndarray) -> None:
+        self.boundaries = _check_boundaries(boundaries)
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise OpError(
+                f"bucketize input must be 1-D, got shape {values.shape}"
+            )
+        out = np.searchsorted(self.boundaries, values, side="right").astype(
+            np.int64
+        )
+        nan_mask = np.isnan(values)
+        if nan_mask.any():
+            out[nan_mask] = 0
+        return out
+
+    @property
+    def num_buckets(self) -> int:
+        """Cardinality of the generated feature: ``len(boundaries) + 1``."""
+        return len(self.boundaries) + 1
+
+
 def bucketize(values: np.ndarray, boundaries: np.ndarray) -> np.ndarray:
     """Digitize a dense feature column into bucket ids (int64).
 
     NaNs (missing dense values that escaped the fill op) map to bucket 0,
-    matching TorchArrow's null-to-zero index convention.
+    matching TorchArrow's null-to-zero index convention.  One-shot form of
+    :class:`Bucketizer`; pipelines cache the prepared form instead.
     """
-    boundaries = _check_boundaries(boundaries)
-    values = np.asarray(values, dtype=np.float64)
-    if values.ndim != 1:
-        raise OpError(f"bucketize input must be 1-D, got shape {values.shape}")
-    out = np.searchsorted(boundaries, values, side="right").astype(np.int64)
-    nan_mask = np.isnan(values)
-    if nan_mask.any():
-        out[nan_mask] = 0
-    return out
+    return Bucketizer(boundaries)(values)
 
 
 def num_buckets(boundaries: np.ndarray) -> int:

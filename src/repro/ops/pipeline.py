@@ -19,7 +19,7 @@ materialize data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,12 +28,12 @@ from repro.errors import PipelineError
 from repro.features.minibatch import MiniBatch
 from repro.features.specs import ModelSpec
 from repro.features.synthetic import SyntheticTableGenerator
-from repro.ops.bucketize import bucketize
+from repro.ops.bucketize import Bucketizer
 from repro.ops.clip import clamp, truncate_list
 from repro.ops.fill import fill_dense, fill_sparse
 from repro.ops.format import to_minibatch
 from repro.ops.lognorm import log_normalize
-from repro.ops.sigridhash import sigrid_hash
+from repro.ops.sigridhash import SigridHasher
 
 #: Seed TorchArrow's DLRM recipe uses for SigridHash; any fixed value works.
 DEFAULT_HASH_SEED = 0xC0FFEE
@@ -132,6 +132,19 @@ class PreprocessingPipeline:
             self.table_sizes[name] = spec.avg_embeddings_per_table
         for name in spec.generated_sparse_names:
             self.table_sizes[name] = spec.bucket_size + 1
+        # per-feature op kernels, prepared once per pipeline instead of per
+        # batch: boundary validation and hash constants leave the batch loop
+        self._bucketizers: Dict[str, Bucketizer] = {
+            name: Bucketizer(self.boundaries[name])
+            for name in spec.bucketize_source_names
+        }
+        self._hashers: Dict[str, SigridHasher] = {
+            name: SigridHasher(hash_seed, self.table_sizes[name])
+            for name in self.schema.sparse_names
+        }
+        self._sparse_order: List[str] = (
+            self.schema.sparse_names + spec.generated_sparse_names
+        )
 
     # -- execution --------------------------------------------------------
 
@@ -160,7 +173,7 @@ class PreprocessingPipeline:
         for source, target in zip(
             self.spec.bucketize_source_names, self.spec.generated_sparse_names
         ):
-            ids = bucketize(filled_dense[source], self.boundaries[source])
+            ids = self._bucketizers[source](filled_dense[source])
             lengths = np.ones(rows, dtype=np.int32)
             generated[target] = (lengths, ids)
             bucketize_elements += rows
@@ -183,20 +196,19 @@ class PreprocessingPipeline:
                 )
             lengths, values = fill_sparse(lengths, values)
             fill_elements += len(values)
-            hashed = sigrid_hash(values, self.hash_seed, self.table_sizes[name])
+            hashed = self._hashers[name](values)
             hashed_sparse[name] = (np.asarray(lengths, dtype=np.int32), hashed)
             hash_elements += len(values)
 
         # 3. format conversion ---------------------------------------------
         all_sparse = dict(hashed_sparse)
         all_sparse.update(generated)
-        sparse_order = self.schema.sparse_names + self.spec.generated_sparse_names
         batch = to_minibatch(
             dense_columns=normalized_dense,
             sparse_columns=all_sparse,
             labels=labels,
             dense_order=self.schema.dense_names,
-            sparse_order=sparse_order,
+            sparse_order=self._sparse_order,
             batch_id=batch_id,
         )
         counts = OpCounts(
@@ -212,6 +224,25 @@ class PreprocessingPipeline:
             raw_sparse_values=hash_elements,
         )
         return batch, counts
+
+    def run_many(
+        self,
+        raws: Iterable[TableData],
+        start_batch_id: int = 0,
+    ) -> List[Tuple[MiniBatch, OpCounts]]:
+        """Transform a stream of raw partitions with one prepared pipeline.
+
+        The fused form of the Transform phase: boundary structures, hash
+        constants, and the column order are prepared once (at construction)
+        and amortized over every batch, instead of a naive driver paying
+        pipeline setup — including synthetic boundary generation — per
+        partition.  Batch ids are assigned sequentially from
+        ``start_batch_id``, matching the partition order.
+        """
+        return [
+            self.run(raw, batch_id=start_batch_id + index)
+            for index, raw in enumerate(raws)
+        ]
 
     def required_columns(self) -> Tuple[str, ...]:
         """Columns the Extract phase must fetch (everything this model uses)."""

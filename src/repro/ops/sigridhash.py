@@ -18,6 +18,8 @@ literal Algorithm 2 transcription used by tests as a cross-check.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.errors import OpError
@@ -48,11 +50,14 @@ def sigrid_hash_scalar(value: int, seed: int, max_value: int) -> int:
     return hash64(value, seed) % max_value
 
 
-def _hash64_vec(values: np.ndarray, seed: int) -> np.ndarray:
+def _hash64_vec(
+    values: np.ndarray, seed: int, gamma: Optional[np.uint64] = None
+) -> np.ndarray:
     """Vectorized splitmix64 over an int64/uint64 column."""
     h = values.astype(np.uint64, copy=False)
     with np.errstate(over="ignore"):
-        gamma = np.uint64((_GAMMA * (seed + 1)) & _MASK64)
+        if gamma is None:
+            gamma = np.uint64((_GAMMA * (seed + 1)) & _MASK64)
         if h is values:
             # uint64 input: the add allocates the owned intermediate
             h = h + gamma
@@ -67,19 +72,42 @@ def _hash64_vec(values: np.ndarray, seed: int) -> np.ndarray:
     return h
 
 
+class SigridHasher:
+    """SigridHash with the per-(seed, table) constants computed once.
+
+    The seeded gamma and the modulus are scalar uint64 conversions that
+    ``sigrid_hash`` otherwise rebuilds on every batch of every feature;
+    a pipeline holds one ``SigridHasher`` per sparse feature instead.
+    """
+
+    __slots__ = ("seed", "max_value", "_gamma", "_modulus")
+
+    def __init__(self, seed: int, max_value: int) -> None:
+        if max_value <= 0:
+            raise OpError("max_value must be positive")
+        self.seed = seed
+        self.max_value = max_value
+        self._gamma = np.uint64((_GAMMA * (seed + 1)) & _MASK64)
+        self._modulus = np.uint64(max_value)
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise OpError(
+                f"sigrid_hash input must be 1-D, got shape {values.shape}"
+            )
+        if not np.issubdtype(values.dtype, np.integer):
+            raise OpError("sigrid_hash input must be integer ids")
+        hashed = _hash64_vec(values, self.seed, self._gamma)
+        return (hashed % self._modulus).astype(np.int64)
+
+
 def sigrid_hash(values: np.ndarray, seed: int, max_value: int) -> np.ndarray:
     """Normalize a flat column of sparse ids into ``[0, max_value)``.
 
     Output dtype is int64 (indices are later narrowed to int32 for the
     train-ready tensors; ``max_value`` must fit in int32 for that to be
-    lossless, which Table I's 500,000-row tables satisfy).
+    lossless, which Table I's 500,000-row tables satisfy).  One-shot form
+    of :class:`SigridHasher`; pipelines cache the prepared form instead.
     """
-    if max_value <= 0:
-        raise OpError("max_value must be positive")
-    values = np.asarray(values)
-    if values.ndim != 1:
-        raise OpError(f"sigrid_hash input must be 1-D, got shape {values.shape}")
-    if not np.issubdtype(values.dtype, np.integer):
-        raise OpError("sigrid_hash input must be integer ids")
-    hashed = _hash64_vec(values, seed)
-    return (hashed % np.uint64(max_value)).astype(np.int64)
+    return SigridHasher(seed, max_value)(values)

@@ -114,3 +114,46 @@ class TestBench:
         assert main(["bench", "--quick", "--json", "--out", ""]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["quick"] is True
+
+
+class TestPreprocess:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["preprocess"])
+        assert args.model == "RM1"
+        assert args.shards == 1
+        assert not args.check
+
+    def test_serial_run_with_check_flag_ignored(self, capsys):
+        # --check is meaningful only for parallel runs; serial just runs
+        assert main(
+            ["preprocess", "--rows", "64", "--shards", "2", "--serial",
+             "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "digest" in out
+        assert "rows/s" in out.replace(",", "")
+        assert "byte-identical" not in out  # no redundant serial self-check
+
+    def test_check_asserts_byte_identity(self, capsys):
+        assert main(
+            ["preprocess", "--rows", "48", "--shards", "4", "--processes",
+             "2", "--check"]
+        ) == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_json_payload(self, capsys):
+        import json as json_mod
+
+        assert main(
+            ["preprocess", "--rows", "32", "--shards", "2", "--serial",
+             "--json"]
+        ) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["num_shards"] == 2
+        assert payload["num_rows"] == 32
+        assert payload["job"]["model"] == "RM1"
+        assert len(payload["digest"]) == 64
+
+    def test_unknown_model_exits(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["preprocess", "--model", "RM99", "--rows", "16"])

@@ -221,3 +221,153 @@ class TestCorruptFiles:
         reader = RowFileReader(bytes(corrupted))
         with pytest.raises(FormatError):
             reader.read_columns(schema.sparse_names)
+
+
+class TestBatchedScanMatchesScalar:
+    """The batched record scan must reproduce the scalar walk's geometry."""
+
+    @staticmethod
+    def _geometry(reader, method):
+        import numpy as np
+
+        body = np.frombuffer(reader._buf, dtype=np.uint8, count=reader._body_end)
+        terminators = np.flatnonzero(body < 0x80)
+        return method(body, terminators)
+
+    def _assert_scan_equal(self, buffer, force_batch=True, monkeypatch=None):
+        from repro.dataio import rowformat as rf
+
+        if force_batch and monkeypatch is not None:
+            monkeypatch.setattr(rf, "_MIN_BATCH_SCAN_ROWS", 0)
+        reader = RowFileReader(buffer)
+        fast = self._geometry(reader, reader._scan_records)
+        slow = self._geometry(reader, reader._scan_records_scalar)
+        for a, b in zip(fast, slow):
+            np.testing.assert_array_equal(a, b)
+
+    def test_large_table_uses_batch_path(self):
+        schema, data = make_table(num_rows=300, seed=11)
+        reader = RowFileReader(write_row_table(schema, data))
+        body = np.frombuffer(reader._buf, dtype=np.uint8, count=reader._body_end)
+        terminators = np.flatnonzero(body < 0x80)
+        batch = reader._scan_records_batch(body, terminators)
+        assert batch is not None  # the fast path proved this file
+        scalar = reader._scan_records_scalar(body, terminators)
+        for a, b in zip(batch, scalar):
+            np.testing.assert_array_equal(a, b)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(0, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_property_random_tables(self, seed, num_rows):
+        from repro.dataio import rowformat as rf
+
+        schema, data = make_table(num_rows=num_rows, seed=seed)
+        buffer = write_row_table(schema, data)
+        original = rf._MIN_BATCH_SCAN_ROWS
+        rf._MIN_BATCH_SCAN_ROWS = 0
+        try:
+            self._assert_scan_equal(buffer, force_batch=False)
+        finally:
+            rf._MIN_BATCH_SCAN_ROWS = original
+
+    def test_empty_sparse_rows(self, monkeypatch):
+        schema = TableSchema.with_counts(2, 2)
+        num_rows = 96
+        data = {
+            "label": np.zeros(num_rows, dtype=np.int8),
+            schema.dense_names[0]: np.zeros(num_rows, dtype=np.float32),
+            schema.dense_names[1]: np.full(num_rows, np.nan, dtype=np.float32),
+            schema.sparse_names[0]: (
+                np.zeros(num_rows, dtype=np.int32),
+                np.empty(0, dtype=np.int64),
+            ),
+            schema.sparse_names[1]: (
+                np.ones(num_rows, dtype=np.int32),
+                np.arange(num_rows, dtype=np.int64),
+            ),
+        }
+        self._assert_scan_equal(
+            write_row_table(schema, data), monkeypatch=monkeypatch
+        )
+
+    def test_max_width_varints(self, monkeypatch):
+        # int64 extremes encode as 10-byte varints (two's complement)
+        schema = TableSchema.with_counts(1, 1)
+        num_rows = 80
+        rng = np.random.default_rng(5)
+        lengths = rng.integers(0, 3, num_rows).astype(np.int32)
+        values = np.full(int(lengths.sum()), np.iinfo(np.int64).min)
+        values[::2] = np.iinfo(np.int64).max
+        data = {
+            "label": np.ones(num_rows, dtype=np.int8),
+            schema.dense_names[0]: rng.random(num_rows).astype(np.float32),
+            schema.sparse_names[0]: (lengths, values),
+        }
+        buffer = write_row_table(schema, data)
+        self._assert_scan_equal(buffer, monkeypatch=monkeypatch)
+        out = RowFileReader(buffer).read_columns(schema.sparse_names)
+        np.testing.assert_array_equal(out[schema.sparse_names[0]][1], values)
+
+    def test_multibyte_list_lengths_fall_back_correctly(self):
+        # a 200-id row forces a 2-byte length varint: the fast path must
+        # decline and the public scan still answer via the scalar walk
+        schema = TableSchema.with_counts(1, 1)
+        num_rows = 80
+        rng = np.random.default_rng(6)
+        lengths = np.full(num_rows, 1, dtype=np.int32)
+        lengths[40] = 200
+        values = rng.integers(0, 1 << 40, int(lengths.sum())).astype(np.int64)
+        data = {
+            "label": np.zeros(num_rows, dtype=np.int8),
+            schema.dense_names[0]: rng.random(num_rows).astype(np.float32),
+            schema.sparse_names[0]: (lengths, values),
+        }
+        buffer = write_row_table(schema, data)
+        reader = RowFileReader(buffer)
+        body = np.frombuffer(reader._buf, dtype=np.uint8, count=reader._body_end)
+        terminators = np.flatnonzero(body < 0x80)
+        assert reader._scan_records_batch(body, terminators) is None
+        self._assert_scan_equal(buffer, force_batch=False)
+        out = RowFileReader(buffer).read_columns(schema.sparse_names)
+        np.testing.assert_array_equal(out[schema.sparse_names[0]][0], lengths)
+        np.testing.assert_array_equal(out[schema.sparse_names[0]][1], values)
+
+    def test_no_sparse_columns(self, monkeypatch):
+        schema = TableSchema.with_counts(3, 0)
+        num_rows = 70
+        rng = np.random.default_rng(7)
+        data = {"label": np.ones(num_rows, dtype=np.int8)}
+        for name in schema.dense_names:
+            data[name] = rng.random(num_rows).astype(np.float32)
+        self._assert_scan_equal(
+            write_row_table(schema, data), monkeypatch=monkeypatch
+        )
+
+    def test_truncated_file_raises_format_error(self):
+        schema, data = make_table(num_rows=100, seed=9)
+        buffer = write_row_table(schema, data)
+        with pytest.raises(FormatError):
+            RowFileReader(buffer[: len(buffer) - 40])
+
+    def test_corrupt_id_terminator_raises_format_error(self):
+        schema, data = make_table(num_rows=100, seed=10)
+        buffer = bytearray(write_row_table(schema, data))
+        reader = RowFileReader(bytes(buffer))
+        body = np.frombuffer(
+            reader._buf, dtype=np.uint8, count=reader._body_end
+        )
+        terminators = np.flatnonzero(body < 0x80)
+        _, counts, id_term_index = reader._scan_records_scalar(
+            body, terminators
+        )
+        # merge a mid-file id varint into its successor by setting the
+        # continuation bit on its terminator: one varint vanishes, so the
+        # record walk can no longer align with the footer
+        row = 50
+        col = int(np.argmax(counts[row] > 0))
+        assert counts[row, col] > 0
+        position = int(terminators[id_term_index[row, col]])
+        buffer[position] |= 0x80
+        corrupted = RowFileReader(bytes(buffer))
+        with pytest.raises(FormatError):
+            corrupted.read_columns(schema.sparse_names)

@@ -120,3 +120,81 @@ class TestPipelineConstruction:
         spec = get_model("RM1")
         with pytest.raises(PipelineError, match="missing bucket boundaries"):
             PreprocessingPipeline(spec, boundaries={})
+
+
+class TestPreparedKernels:
+    """The cached per-pipeline op kernels must match the one-shot functions."""
+
+    def test_bucketizer_matches_function(self):
+        from repro.ops.bucketize import Bucketizer, bucketize
+
+        rng = np.random.default_rng(0)
+        boundaries = np.sort(rng.random(64))
+        values = rng.random(500)
+        values[::7] = np.nan
+        prepared = Bucketizer(boundaries)
+        np.testing.assert_array_equal(
+            prepared(values), bucketize(values, boundaries)
+        )
+        assert prepared.num_buckets == 65
+
+    def test_bucketizer_validates_once(self):
+        from repro.errors import OpError
+        from repro.ops.bucketize import Bucketizer
+
+        with pytest.raises(OpError, match="strictly increasing"):
+            Bucketizer(np.array([1.0, 1.0, 2.0]))
+        with pytest.raises(OpError, match="1-D"):
+            Bucketizer(np.array([1.0, 2.0]))(np.zeros((2, 2)))
+
+    def test_sigrid_hasher_matches_function(self):
+        from repro.ops.sigridhash import SigridHasher, sigrid_hash
+
+        rng = np.random.default_rng(1)
+        ids = rng.integers(-(2**40), 2**40, 1000)
+        prepared = SigridHasher(0xC0FFEE, 500_000)
+        np.testing.assert_array_equal(
+            prepared(ids), sigrid_hash(ids, 0xC0FFEE, 500_000)
+        )
+
+    def test_sigrid_hasher_validates(self):
+        from repro.errors import OpError
+        from repro.ops.sigridhash import SigridHasher
+
+        with pytest.raises(OpError, match="positive"):
+            SigridHasher(0, 0)
+        with pytest.raises(OpError, match="integer"):
+            SigridHasher(0, 10)(np.array([1.5, 2.5]))
+
+    def test_pipeline_uses_prepared_kernels(self, rm1):
+        _, pipe, _ = rm1
+        assert set(pipe._bucketizers) == set(pipe.spec.bucketize_source_names)
+        assert set(pipe._hashers) == set(pipe.schema.sparse_names)
+
+
+class TestRunMany:
+    def test_matches_sequential_runs(self, rm1):
+        spec, pipe, _ = rm1
+        gen = SyntheticTableGenerator(spec, seed=11)
+        shards = [gen.generate(32, partition=p) for p in range(3)]
+        fused = pipe.run_many(shards)
+        assert len(fused) == 3
+        for index, (raw, (batch, counts)) in enumerate(zip(shards, fused)):
+            single_batch, single_counts = pipe.run(raw, batch_id=index)
+            assert batch.batch_id == index
+            assert counts == single_counts
+            np.testing.assert_array_equal(batch.dense, single_batch.dense)
+            np.testing.assert_array_equal(
+                batch.sparse.values, single_batch.sparse.values
+            )
+
+    def test_start_batch_id(self, rm1):
+        spec, pipe, _ = rm1
+        gen = SyntheticTableGenerator(spec, seed=12)
+        shards = [gen.generate(16, partition=p) for p in range(2)]
+        fused = pipe.run_many(shards, start_batch_id=7)
+        assert [batch.batch_id for batch, _ in fused] == [7, 8]
+
+    def test_empty_iterable(self, rm1):
+        _, pipe, _ = rm1
+        assert pipe.run_many([]) == []
