@@ -1,0 +1,60 @@
+"""Render a `repro report --json` payload as a Markdown claims scoreboard.
+
+CI runs a fast registry-driven subset of the report, pipes the JSON here,
+and appends the output to ``$GITHUB_STEP_SUMMARY`` — a per-run record of
+which paper claims hold, next to the perf trend.  Report-only: exit code is
+always 0; the test suite, not CI formatting, gates claim regressions.
+
+Usage:
+    python benchmarks/claims_summary.py report.json
+    python -m repro.cli report --json | python benchmarks/claims_summary.py -
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def render(payload: dict) -> str:
+    scoreboard = payload.get("scoreboard", {})
+    held = scoreboard.get("held", 0)
+    total = scoreboard.get("total", 0)
+    lines = [
+        "## Paper claims scoreboard",
+        "",
+        f"**{held}/{total} claims within tolerance**",
+        "",
+        "| experiment | claim | paper | measured | err | holds |",
+        "| --- | --- | ---: | ---: | ---: | :---: |",
+    ]
+    for experiment in payload.get("experiments", []):
+        title = experiment.get("title", experiment.get("id", "?"))
+        for claim in experiment.get("claims", []):
+            status = "✅" if claim["holds"] else "❌"
+            lines.append(
+                f"| {title} | {claim['description']} "
+                f"| {claim['paper_value']:g} "
+                f"| {claim['measured_value']:.4g} "
+                f"| {100 * claim['relative_error']:.0f}% "
+                f"| {status} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(argv[1]) as handle:
+            payload = json.load(handle)
+    print(render(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,7 +15,10 @@ recommendation models (Lee, Kim, Rhu; ISCA 2024).  This package provides:
   Extract -> Transform data plane across a process pool with
   serial-identical output;
 * an experiment harness regenerating every table and figure of the paper's
-  evaluation (see :mod:`repro.experiments.report`).
+  evaluation, driven by a registry (:data:`repro.api.EXPERIMENT_REGISTRY`)
+  with declarative :class:`~repro.api.ExperimentRun` records, an on-disk
+  result cache, and a parallel report (see :mod:`repro.experiments.report`
+  and ``docs/experiments.md``).
 
 Quick start — one scenario::
 
@@ -73,16 +76,24 @@ from repro.core.isp_worker import IspPreprocessingWorker
 from repro.core.endtoend import EndToEndSimulation
 from repro.core.provision import ProvisioningPlan, provision
 from repro.api import (
+    EXPERIMENT_REGISTRY,
     REGISTRY,
+    ExperimentResult,
+    ExperimentRun,
     PreprocessJob,
     PreprocessRunResult,
     RunResult,
+    RunStore,
     Scenario,
     Sweep,
     SystemRegistry,
+    available_experiments,
     available_systems,
+    get_experiment,
     get_system,
+    register_experiment,
     register_system,
+    run_experiments,
 )
 from repro.exec import ShardExecutor
 
@@ -126,4 +137,12 @@ __all__ = [
     "available_systems",
     "get_system",
     "register_system",
+    "EXPERIMENT_REGISTRY",
+    "ExperimentResult",
+    "ExperimentRun",
+    "RunStore",
+    "available_experiments",
+    "get_experiment",
+    "register_experiment",
+    "run_experiments",
 ]

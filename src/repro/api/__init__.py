@@ -1,6 +1,6 @@
 """repro.api — the declarative front door for every experiment.
 
-Four pieces:
+Five pieces:
 
 * :class:`SystemRegistry` / :func:`register_system` — a catalog of system
   design points; user systems plug in next to the paper's six;
@@ -11,7 +11,14 @@ Four pieces:
   ``multiprocessing`` pool with deterministic result ordering;
 * :class:`PreprocessJob` — the data-plane scenario: one declarative
   sharded preprocessing run through :class:`repro.exec.ShardExecutor`,
-  with a content digest proving parallel == serial output.
+  with a content digest proving parallel == serial output;
+* :class:`ExperimentRegistry` / :func:`register_experiment` /
+  :class:`ExperimentRun` / :class:`RunStore` — the paper-experiment
+  catalog: every figure/table/ablation module registers its runner, runs
+  are frozen dict-round-trippable records, results follow one protocol
+  (``columns``/``rows``/``claims``/``render``/``to_dict``), an on-disk
+  cache replays repeated invocations, and :func:`run_experiments` fans
+  out across a process pool with deterministic ordering.
 """
 
 from repro.api.registry import (
@@ -20,6 +27,20 @@ from repro.api.registry import (
     available_systems,
     get_system,
     register_system,
+)
+from repro.api.experiment import (
+    EXPERIMENT_KINDS,
+    EXPERIMENT_REGISTRY,
+    ExperimentParam,
+    ExperimentRegistry,
+    ExperimentResult,
+    ExperimentRun,
+    ExperimentSpec,
+    RunStore,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+    run_experiments,
 )
 from repro.api.preprocess import (
     PreprocessJob,
@@ -31,6 +52,18 @@ from repro.api.scenario import PROVISION_MODES, Scenario, calibration_overrides
 from repro.api.sweep import Sweep
 
 __all__ = [
+    "EXPERIMENT_KINDS",
+    "EXPERIMENT_REGISTRY",
+    "ExperimentParam",
+    "ExperimentRegistry",
+    "ExperimentResult",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "RunStore",
+    "available_experiments",
+    "get_experiment",
+    "register_experiment",
+    "run_experiments",
     "REGISTRY",
     "SystemRegistry",
     "available_systems",

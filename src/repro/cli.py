@@ -2,11 +2,19 @@
 
 Commands:
 
-* ``report``          — run every experiment + ablation, print the full
-                        paper-vs-measured report and claims scoreboard;
-* ``list``            — list available experiment ids;
+* ``report``          — run every registered experiment + ablation, print the
+                        full paper-vs-measured report and claims scoreboard;
+                        ``--parallel`` fans out across a process pool with
+                        byte-identical output, ``--only figures|tables|
+                        ablations`` narrows the set, ``--json`` emits the
+                        structured payload, and results are cached on disk
+                        (``--force`` re-runs, ``--no-cache`` disables);
+* ``list``            — list registered experiment ids (``--only`` filters);
 * ``run <id> [...]``  — run one or more experiments by id (e.g. ``fig12``,
                         ``table2``, ``abl-lanes``) and print their tables;
+                        ``--set param=value`` overrides experiment params
+                        (e.g. ``--set model=RM1``) or calibration fields,
+                        ``--json`` emits the structured results;
 * ``run --model RM5 --system PreSto [--gpus N]`` — run one declarative
                         scenario through the :mod:`repro.api` front door;
 * ``sweep``           — run a scenario grid (models x systems x gpus) in
@@ -14,6 +22,8 @@ Commands:
 * ``systems``         — list registered system design points;
 * ``provision <model> [--gpus N]`` — print the T/P provisioning of every
                         system design point for one Table I model;
+* ``export``          — write every experiment's rows (with a header row) as
+                        CSV or, with ``--format json``, as JSON files;
 * ``preprocess``      — actually run the sharded preprocessing data plane
                         (write -> read -> transform across a process pool)
                         for one model and print the throughput/digest
@@ -23,6 +33,12 @@ Commands:
                         timing table and write ``BENCH_kernels.json`` (the
                         repo's recorded perf trajectory; ``--quick`` for a
                         CI-sized smoke run).
+
+Experiments are resolved through :data:`repro.api.EXPERIMENT_REGISTRY`, so a
+user-registered experiment (see ``examples/custom_experiment.py``) shows up
+in ``list``/``run``/``report``/``export`` without touching this module —
+point ``$REPRO_EXPERIMENTS`` at a comma-separated list of importable modules
+and the registry loads them before resolving ids.
 """
 
 from __future__ import annotations
@@ -31,44 +47,64 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List, Optional
+import warnings
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.api import (
+    EXPERIMENT_REGISTRY,
     REGISTRY,
+    ExperimentRun,
     PreprocessJob,
     RunResult,
+    RunStore,
     Scenario,
     Sweep,
     available_systems,
 )
+from repro.api.scenario import _CALIBRATION_FIELDS
 from repro.errors import ReproError
 from repro.experiments import report as report_mod
 from repro.experiments.common import format_table
 from repro.features.specs import MODEL_NAMES, get_model
 
-#: short CLI ids -> report keys
-COMMAND_IDS: Dict[str, str] = {
-    "fig3": "Figure 3",
-    "fig4": "Figure 4",
-    "fig5": "Figure 5",
-    "fig6": "Figure 6",
-    "table1": "Table I",
-    "table2": "Table II",
-    "fig11": "Figure 11",
-    "fig12": "Figure 12",
-    "fig13": "Figure 13",
-    "fig14": "Figure 14",
-    "fig15": "Figure 15",
-    "fig16": "Figure 16",
-    "fig17": "Figure 17",
-    "abl-row": "Ablation: row vs columnar",
-    "abl-pipeline": "Ablation: double buffering",
-    "abl-lanes": "Ablation: unit lane sweep",
-    "abl-network": "Sensitivity: link speed",
-    "abl-contention": "Fleet: network contention",
-    "abl-batch": "Sensitivity: batch size",
-    "abl-fleet": "Fleet: multi-job scheduling",
-}
+
+class _DeprecatedCommandIds(Mapping):
+    """Live, read-only id -> title view of the experiment registry.
+
+    The hand-maintained ``COMMAND_IDS`` dict is gone; resolve experiment
+    ids through :data:`repro.api.EXPERIMENT_REGISTRY` instead.  This shim
+    still behaves like the old dict — including any newly registered user
+    experiments — but warns on use.
+    """
+
+    def _warn(self) -> None:
+        warnings.warn(
+            "cli.COMMAND_IDS is deprecated; use repro.api.EXPERIMENT_REGISTRY "
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, command_id: str) -> str:
+        self._warn()
+        for spec in EXPERIMENT_REGISTRY.experiments():
+            if spec.id == command_id:
+                return spec.title
+        raise KeyError(command_id)
+
+    def __iter__(self):
+        self._warn()
+        return iter(EXPERIMENT_REGISTRY.ids())
+
+    def __len__(self) -> int:
+        return len(EXPERIMENT_REGISTRY)
+
+
+#: deprecated: short CLI ids -> report keys (live registry view)
+COMMAND_IDS: Mapping[str, str] = _DeprecatedCommandIds()
+
+#: ``--only`` choices -> registry kinds
+_ONLY_KINDS = {"figures": "figure", "tables": "table", "ablations": "ablation"}
 
 #: columns of the scenario/sweep result table
 RESULT_HEADERS = (
@@ -107,6 +143,7 @@ def _print_results(results: List[RunResult], title: str, as_json: bool) -> None:
 
 
 def _parse_overrides(pairs: Optional[List[str]]) -> Dict[str, float]:
+    """Scenario-path ``--set``: calibration overrides only, all numeric."""
     overrides: Dict[str, float] = {}
     for pair in pairs or []:
         name, sep, value = pair.partition("=")
@@ -119,31 +156,157 @@ def _parse_overrides(pairs: Optional[List[str]]) -> Dict[str, float]:
     return overrides
 
 
+def _parse_set_pairs(pairs: Optional[List[str]]) -> Dict[str, Any]:
+    """Experiment-path ``--set``: values parse as JSON when possible (ints,
+    floats, lists), else stay strings (``--set model=RM1``)."""
+    parsed: Dict[str, Any] = {}
+    for pair in pairs or []:
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--set expects param=value, got {pair!r}")
+        try:
+            parsed[name] = json.loads(value)
+        except ValueError:
+            parsed[name] = value
+    return parsed
+
+
+def _experiment_spec_for(command_id: str):
+    try:
+        # the registry's own errors are already actionable: unknown ids
+        # list the registered experiments, $REPRO_EXPERIMENTS import
+        # failures name the broken module
+        return EXPERIMENT_REGISTRY.get(command_id)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+
+def _experiment_runs_for(
+    command_ids: List[str], overrides: Optional[Dict[str, Any]] = None
+) -> List[ExperimentRun]:
+    """Resolve ``command_ids`` and split ``--set`` overrides per experiment.
+
+    Each override applies to every listed experiment that accepts it — as a
+    parameter, or as a calibration field when the experiment takes
+    calibration.  A name no listed experiment can consume is an error.
+    """
+    specs = [_experiment_spec_for(command_id) for command_id in command_ids]
+    overrides = overrides or {}
+    for name in overrides:
+        takes_param = any(name in spec.param_names() for spec in specs)
+        takes_cal = name in _CALIBRATION_FIELDS and any(
+            spec.takes_calibration for spec in specs
+        )
+        if not takes_param and not takes_cal:
+            known = sorted({p for spec in specs for p in spec.param_names()})
+            raise SystemExit(
+                f"--set {name}: no listed experiment has such a parameter "
+                f"(parameters: {', '.join(known) or 'none'}) and it is not "
+                "an applicable calibration field"
+            )
+    runs = []
+    for spec in specs:
+        params = {
+            name: value
+            for name, value in overrides.items()
+            if name in spec.param_names()
+        }
+        calibration = {
+            name: value
+            for name, value in overrides.items()
+            if name in _CALIBRATION_FIELDS
+            and name not in params
+            and spec.takes_calibration
+        }
+        try:
+            runs.append(
+                ExperimentRun(spec.id, params=params, calibration=calibration)
+            )
+        except ReproError as exc:
+            raise SystemExit(str(exc))
+    return runs
+
+
+def _parse_only(only: Optional[str]) -> Optional[List[str]]:
+    """``--only figures,tables`` -> registry kinds (or None for all)."""
+    if not only:
+        return None
+    kinds = []
+    for token in _csv(only):
+        kind = _ONLY_KINDS.get(token.lower())
+        if kind is None:
+            raise SystemExit(
+                f"--only expects a comma list of {'|'.join(_ONLY_KINDS)}, "
+                f"got {token!r}"
+            )
+        kinds.append(kind)
+    return kinds
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[RunStore]:
+    """The result cache the command should use (None when disabled)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return RunStore(getattr(args, "cache_dir", None) or None)
+
+
 def _csv(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
-def _runner_for(command_id: str):
-    key = COMMAND_IDS.get(command_id)
-    if key is None:
-        raise SystemExit(
-            f"unknown experiment {command_id!r}; try one of: "
-            + ", ".join(sorted(COMMAND_IDS))
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Full report (cached, optionally parallel, optionally JSON)."""
+    try:
+        results = report_mod.run_all(
+            kinds=_parse_only(args.only),
+            parallel=args.parallel,
+            processes=args.processes,
+            store=_store_from_args(args),
+            force=args.force,
         )
-    runners = {**report_mod.EXPERIMENTS, **report_mod.ABLATIONS}
-    return runners[key]
-
-
-def cmd_report(_: argparse.Namespace) -> int:
-    """Full report."""
-    print(report_mod.render_report())
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(report_mod.report_payload(results), indent=2))
+    else:
+        print(report_mod.render_report(results))
     return 0
 
 
-def cmd_list(_: argparse.Namespace) -> int:
-    """Available experiment ids."""
-    for short, key in COMMAND_IDS.items():
-        print(f"{short:13} -> {key}")
+def cmd_list(args: argparse.Namespace) -> int:
+    """Registered experiments, in paper order."""
+    kinds = _parse_only(args.only)
+    try:
+        specs = [
+            spec
+            for spec in EXPERIMENT_REGISTRY.experiments()
+            if kinds is None or spec.kind in kinds
+        ]
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "id": spec.id,
+                        "title": spec.title,
+                        "kind": spec.kind,
+                        "params": spec.default_params(),
+                        "doc": spec.doc,
+                    }
+                    for spec in specs
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    for spec in specs:
+        params = ", ".join(spec.param_names())
+        suffix = f"  [{params}]" if params else ""
+        print(f"{spec.id:15} {spec.kind:9} -> {spec.title}{suffix}")
     return 0
 
 
@@ -174,10 +337,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 0
     if not args.ids:
         raise SystemExit("pass experiment ids (see `list`) or --model/--system")
-    for command_id in args.ids:
-        result = _runner_for(command_id)()
-        print(result.render())
-        print()
+    payloads = []
+    for run in _experiment_runs_for(args.ids, _parse_set_pairs(args.set)):
+        try:
+            result = run.run()
+        except ReproError as exc:
+            raise SystemExit(str(exc))
+        if args.json:
+            payloads.append(report_mod.experiment_record(result, run=run))
+        else:
+            print(result.render())
+            print()
+    if args.json:
+        print(json.dumps(payloads, indent=2))
     return 0
 
 
@@ -233,22 +405,59 @@ def cmd_provision(args: argparse.Namespace) -> int:
 
 
 def cmd_export(args: argparse.Namespace) -> int:
-    """Write every experiment's rows to CSV files for plotting."""
+    """Write every experiment's rows (with header) as CSV or JSON files."""
     import csv
     import os
 
     os.makedirs(args.dir, exist_ok=True)
+    store = _store_from_args(args)
     written = []
-    for command_id in args.ids or list(COMMAND_IDS):
-        result = _runner_for(command_id)()
-        rows = getattr(result, "rows", None)
-        if rows is None:
+    for run in _experiment_runs_for(args.ids or list(EXPERIMENT_REGISTRY.ids())):
+        result = store.load(run) if store is not None and not args.force else None
+        hit = result is not None
+        if result is None:
+            try:
+                result = run.run()
+            except ReproError as exc:
+                raise SystemExit(str(exc))
+        try:
+            columns = list(result.columns())
+            rows = [list(row) for row in result.rows()]
+        except NotImplementedError:
+            print(
+                f"warning: skipping {run.experiment!r} — its result does not "
+                "implement columns()/rows()",
+                file=sys.stderr,
+            )
             continue
-        path = os.path.join(args.dir, f"{command_id}.csv")
-        with open(path, "w", newline="") as handle:
-            writer = csv.writer(handle)
-            for row in rows():
-                writer.writerow(row)
+        if store is not None and not hit:
+            try:
+                store.save(run, result)
+            except (ReproError, OSError) as exc:
+                print(
+                    f"warning: could not cache {run.experiment!r}: {exc}",
+                    file=sys.stderr,
+                )
+        if args.format == "json":
+            path = os.path.join(args.dir, f"{run.experiment}.json")
+            with open(path, "w") as handle:
+                json.dump(
+                    {
+                        "id": run.experiment,
+                        "title": run.spec.title,
+                        "columns": columns,
+                        "rows": rows,
+                    },
+                    handle,
+                    indent=2,
+                )
+                handle.write("\n")
+        else:
+            path = os.path.join(args.dir, f"{run.experiment}.csv")
+            with open(path, "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(columns)
+                writer.writerows(rows)
         written.append(path)
     for path in written:
         print(path)
@@ -338,6 +547,16 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
                         help="emit RunResult records as JSON")
 
 
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--force", action="store_true",
+                        help="re-run experiments even when cached")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache root (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro/experiments)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser."""
     parser = argparse.ArgumentParser(
@@ -346,10 +565,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("report", help="run everything, print the full report").set_defaults(
-        func=cmd_report
+    report = sub.add_parser(
+        "report", help="run everything, print the full report"
     )
-    sub.add_parser("list", help="list experiment ids").set_defaults(func=cmd_list)
+    report.add_argument("--parallel", action="store_true",
+                        help="fan experiments out across a process pool "
+                             "(output is byte-identical to serial)")
+    report.add_argument("--processes", type=int, default=None,
+                        help="pool size for --parallel")
+    report.add_argument("--only", default=None, metavar="KINDS",
+                        help="comma list of figures|tables|ablations")
+    report.add_argument("--json", action="store_true",
+                        help="emit the structured report payload as JSON")
+    _add_cache_options(report)
+    report.set_defaults(func=cmd_report)
+
+    list_parser = sub.add_parser("list", help="list experiment ids")
+    list_parser.add_argument("--only", default=None, metavar="KINDS",
+                             help="comma list of figures|tables|ablations")
+    list_parser.add_argument("--json", action="store_true",
+                             help="emit the experiment catalog as JSON")
+    list_parser.set_defaults(func=cmd_list)
 
     run_parser = sub.add_parser(
         "run", help="run experiments by id, or one scenario via --model/--system"
@@ -383,9 +619,14 @@ def build_parser() -> argparse.ArgumentParser:
         "systems", help="list registered system design points"
     ).set_defaults(func=cmd_systems)
 
-    export = sub.add_parser("export", help="write experiment rows as CSV")
+    export = sub.add_parser(
+        "export", help="write experiment rows (with header) as CSV/JSON"
+    )
     export.add_argument("--dir", default="results")
+    export.add_argument("--format", choices=("csv", "json"), default="csv",
+                        help="output format (default csv)")
     export.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    _add_cache_options(export)
     export.set_defaults(func=cmd_export)
 
     prov = sub.add_parser("provision", help="T/P provisioning for one model")

@@ -1,9 +1,14 @@
 """Experiment harness: one module per paper table/figure.
 
-Each module exposes ``run() -> <Result>`` returning a structured result with
-``rows()`` (the same series the paper plots) and ``render()`` (a text table).
-:mod:`repro.experiments.report` runs everything and produces the full
-paper-vs-measured report used by EXPERIMENTS.md.
+Each module registers its ``run()`` function with
+:data:`repro.api.EXPERIMENT_REGISTRY` via ``@register_experiment`` and
+returns an :class:`~repro.api.ExperimentResult` — ``columns()``/``rows()``
+(the same series the paper plots), ``claims()`` (paper-vs-measured), and
+``render()`` (a text table), with lossless ``to_dict``/``from_dict`` for
+the on-disk run cache.  Importing this package imports every experiment
+module, which is how the registry discovers the built-ins.
+:mod:`repro.experiments.report` runs everything (serially, in parallel, or
+from cache) and produces the full paper-vs-measured report.
 """
 
 from repro.experiments import (

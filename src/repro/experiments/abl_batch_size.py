@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.experiments.common import PaperClaim, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    register_experiment,
+)
 from repro.features.specs import get_model
 from repro.hardware.accelerator import AcceleratorModel
 from repro.hardware.calibration import CALIBRATION, Calibration
@@ -26,7 +31,7 @@ BATCH_SIZES = (1024, 2048, 4096, 8192, 16384, 32768, 65536)
 
 
 @dataclass(frozen=True)
-class BatchSizeResult:
+class BatchSizeResult(ExperimentResult):
     """Per-batch-size per-sample costs for both workers."""
 
     model: str
@@ -63,15 +68,19 @@ class BatchSizeResult:
             )
         ]
 
+    def columns(self) -> List[str]:
+        return ["batch", "CPU us/sample", "PreSto us/sample", "speedup (x)"]
+
     def render(self) -> str:
         table = format_table(
-            ["batch", "CPU us/sample", "PreSto us/sample", "speedup (x)"],
+            self.columns(),
             self.rows(),
             title=f"Sensitivity (batch size, {self.model}): per-sample latency",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("abl-batch", title="Sensitivity: batch size", kind="ablation", order=250)
 def run(model: str = "RM5", calibration: Calibration = CALIBRATION) -> BatchSizeResult:
     """Sweep the mini-batch size."""
     spec = get_model(model)

@@ -20,13 +20,19 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.systems import DisaggCpuSystem, PreStoSystem
-from repro.experiments.common import PaperClaim, format_table, models
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    models,
+    register_experiment,
+)
 from repro.hardware.calibration import CALIBRATION, Calibration
 from repro.training.gpu import GpuTrainingModel
 
 
 @dataclass(frozen=True)
-class DoubleBufferingResult:
+class DoubleBufferingResult(ExperimentResult):
     """Pipelined vs serial device throughput and provisioning."""
 
     pipelined_throughput: Dict[str, float]
@@ -79,22 +85,26 @@ class DoubleBufferingResult:
             for m in self.pipelined_throughput
         ]
 
+    def columns(self) -> List[str]:
+        return [
+            "model",
+            "pipelined k-samples/s",
+            "serial k-samples/s",
+            "gain (x)",
+            "units (pipelined)",
+            "units (serial)",
+        ]
+
     def render(self) -> str:
         table = format_table(
-            [
-                "model",
-                "pipelined k-samples/s",
-                "serial k-samples/s",
-                "gain (x)",
-                "units (pipelined)",
-                "units (serial)",
-            ],
+            self.columns(),
             self.rows(),
             title="Ablation (double buffering): device throughput and 8-GPU provisioning",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("abl-pipeline", title="Ablation: double buffering", kind="ablation", order=210)
 def run(calibration: Calibration = CALIBRATION) -> DoubleBufferingResult:
     """Run the double-buffering ablation."""
     gpu = GpuTrainingModel(calibration)

@@ -14,7 +14,12 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.experiments.common import PaperClaim, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    register_experiment,
+)
 from repro.features.specs import get_model
 from repro.hardware.accelerator import AcceleratorModel
 from repro.hardware.calibration import CALIBRATION, Calibration
@@ -24,7 +29,7 @@ LANE_SCALES = (1, 2, 4, 8)
 
 
 @dataclass(frozen=True)
-class LaneSweepResult:
+class LaneSweepResult(ExperimentResult):
     """Per-scale throughput / transform time / fit."""
 
     model: str
@@ -70,9 +75,12 @@ class LaneSweepResult:
             )
         ]
 
+    def columns(self) -> List[str]:
+        return ["lane scale", "k-samples/s", "transform (ms)", "fits SmartSSD"]
+
     def render(self) -> str:
         table = format_table(
-            ["lane scale", "k-samples/s", "transform (ms)", "fits SmartSSD"],
+            self.columns(),
             self.rows(),
             title=(
                 f"Ablation (unit lane sweep, {self.model}): knee at "
@@ -83,6 +91,7 @@ class LaneSweepResult:
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("abl-lanes", title="Ablation: unit lane sweep", kind="ablation", order=220)
 def run(model: str = "RM5", calibration: Calibration = CALIBRATION) -> LaneSweepResult:
     """Sweep the transform-unit lane scale.
 

@@ -18,7 +18,12 @@ from typing import List, Tuple
 from repro.analysis.cost import cost_breakdown
 from repro.core.scheduler import FleetScheduler, TrainingJob
 from repro.core.systems import DisaggCpuSystem, PreStoSystem
-from repro.experiments.common import PaperClaim, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    register_experiment,
+)
 from repro.features.specs import get_model
 from repro.hardware.calibration import CALIBRATION, Calibration
 
@@ -42,7 +47,7 @@ def build_jobs(mix: Tuple[Tuple[str, int], ...] = DEFAULT_MIX) -> List[TrainingJ
 
 
 @dataclass(frozen=True)
-class MultiJobResult:
+class MultiJobResult(ExperimentResult):
     """Fleet comparison: Disagg pool vs PreSto pool for the same job mix."""
 
     num_jobs: int
@@ -102,15 +107,19 @@ class MultiJobResult:
             ),
         ]
 
+    def columns(self) -> List[str]:
+        return ["metric", "Disagg (CPU cores)", "PreSto (SmartSSDs)"]
+
     def render(self) -> str:
         table = format_table(
-            ["metric", "Disagg (CPU cores)", "PreSto (SmartSSDs)"],
+            self.columns(),
             self.rows(),
             title=f"Fleet scenario: {self.num_jobs} concurrent 8-GPU training jobs",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("abl-fleet", title="Fleet: multi-job scheduling", kind="ablation", order=260)
 def run(
     mix: Tuple[Tuple[str, int], ...] = DEFAULT_MIX,
     calibration: Calibration = CALIBRATION,

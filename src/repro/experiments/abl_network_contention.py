@@ -23,13 +23,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import PaperClaim, format_table, models
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    models,
+    register_experiment,
+)
 from repro.hardware.calibration import CALIBRATION, Calibration
 from repro.training.gpu import GpuTrainingModel
 
 
 @dataclass(frozen=True)
-class NetworkContentionResult:
+class NetworkContentionResult(ExperimentResult):
     """Per-model wire traffic and storage-NIC job capacity."""
 
     disagg_bytes_per_sample: Dict[str, float]  # total fabric bytes
@@ -87,16 +93,19 @@ class NetworkContentionResult:
             )
         return out
 
+    def columns(self) -> List[str]:
+        return [
+            "model",
+            "Disagg KiB/sample",
+            "PreSto KiB/sample",
+            "reduction (x)",
+            "jobs/NIC Disagg",
+            "jobs/NIC PreSto",
+        ]
+
     def render(self) -> str:
         table = format_table(
-            [
-                "model",
-                "Disagg KiB/sample",
-                "PreSto KiB/sample",
-                "reduction (x)",
-                "jobs/NIC Disagg",
-                "jobs/NIC PreSto",
-            ],
+            self.columns(),
             self.rows(),
             title=(
                 "Fleet sensitivity: network traffic per trained sample and "
@@ -106,6 +115,7 @@ class NetworkContentionResult:
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("abl-contention", title="Fleet: network contention", kind="ablation", order=240)
 def run(calibration: Calibration = CALIBRATION) -> NetworkContentionResult:
     """Derive fabric traffic and NIC capacity for every model."""
     gpu = GpuTrainingModel(calibration)

@@ -18,7 +18,12 @@ from typing import List, Tuple
 
 from repro.core.cpu_worker import CpuPreprocessingWorker
 from repro.core.isp_worker import IspPreprocessingWorker
-from repro.experiments.common import PaperClaim, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    register_experiment,
+)
 from repro.features.specs import get_model
 from repro.hardware.calibration import CALIBRATION, Calibration
 from repro.units import gbps
@@ -27,7 +32,7 @@ LINK_GBPS = (1.0, 10.0, 25.0, 40.0, 100.0)
 
 
 @dataclass(frozen=True)
-class NetworkSweepResult:
+class NetworkSweepResult(ExperimentResult):
     """Per-link-speed speedups and PreSto throughput."""
 
     model: str
@@ -65,20 +70,24 @@ class NetworkSweepResult:
             )
         ]
 
+    def columns(self) -> List[str]:
+        return [
+            "link",
+            "PreSto speedup (x)",
+            "PreSto k-samples/s",
+            "Disagg Extract(Read) share (%)",
+        ]
+
     def render(self) -> str:
         table = format_table(
-            [
-                "link",
-                "PreSto speedup (x)",
-                "PreSto k-samples/s",
-                "Disagg Extract(Read) share (%)",
-            ],
+            self.columns(),
             self.rows(),
             title=f"Sensitivity (link speed, {self.model})",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("abl-network", title="Sensitivity: link speed", kind="ablation", order=230)
 def run(model: str = "RM5", calibration: Calibration = CALIBRATION) -> NetworkSweepResult:
     """Sweep the network bandwidth."""
     spec = get_model(model)

@@ -16,7 +16,12 @@ from typing import List, Tuple
 
 from repro.dataio.columnar import ColumnarFileReader, write_table
 from repro.dataio.rowformat import RowFileReader, write_row_table
-from repro.experiments.common import PaperClaim, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    register_experiment,
+)
 from repro.features.specs import get_model
 from repro.features.synthetic import SyntheticTableGenerator
 
@@ -26,7 +31,7 @@ ROWS = 2048
 
 
 @dataclass(frozen=True)
-class RowVsColumnarResult:
+class RowVsColumnarResult(ExperimentResult):
     """Bytes touched per layout per column-subset fraction."""
 
     model: str
@@ -69,9 +74,12 @@ class RowVsColumnarResult:
             )
         ]
 
+    def columns(self) -> List[str]:
+        return ["column fraction", "columnar bytes", "row-layout bytes", "overfetch (x)"]
+
     def render(self) -> str:
         table = format_table(
-            ["column fraction", "columnar bytes", "row-layout bytes", "overfetch (x)"],
+            self.columns(),
             self.rows(),
             title=(
                 f"Ablation (row vs columnar, {self.model}, {ROWS} rows): bytes "
@@ -81,6 +89,7 @@ class RowVsColumnarResult:
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("abl-row", title="Ablation: row vs columnar", kind="ablation", order=200)
 def run(model: str = "RM1", seed: int = 0) -> RowVsColumnarResult:
     """Run the ablation on real generated data."""
     spec = get_model(model)

@@ -4,17 +4,34 @@ Experiments construct systems through the :mod:`repro.api` registry (one
 front door for built-in and user-registered design points alike) and, when
 they take a custom :class:`Calibration`, translate it to the override form
 :class:`~repro.api.scenario.Scenario` stores via :func:`scenario_for`.
+
+Each experiment module registers its ``run()`` function with the experiment
+registry via :func:`register_experiment` and returns an
+:class:`ExperimentResult` subclass — both re-exported here so the modules
+have a single import site for the harness plumbing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
+from repro.api.experiment import ExperimentResult, register_experiment
 from repro.api.registry import REGISTRY
 from repro.api.scenario import Scenario, calibration_overrides
 from repro.features.specs import MODEL_NAMES, ModelSpec, all_models
 from repro.hardware.calibration import CALIBRATION, Calibration
+
+__all__ = [
+    "ExperimentResult",
+    "PaperClaim",
+    "build_system",
+    "format_table",
+    "model_names",
+    "models",
+    "register_experiment",
+    "scenario_for",
+]
 
 
 def models() -> List[ModelSpec]:
@@ -78,6 +95,17 @@ class PaperClaim:
             f"measured {self.measured_value:.3g} "
             f"(err {100 * self.relative_error:.0f}%)"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for ``repro report --json`` and the CI scoreboard."""
+        return {
+            "description": self.description,
+            "paper_value": self.paper_value,
+            "measured_value": self.measured_value,
+            "tolerance": self.tolerance,
+            "relative_error": self.relative_error,
+            "holds": self.holds,
+        }
 
 
 def format_table(

@@ -13,14 +13,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import PaperClaim, build_system, format_table, models
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    build_system,
+    format_table,
+    models,
+    register_experiment,
+)
 from repro.hardware.calibration import CALIBRATION, Calibration
 
 CORE_COUNTS = (1, 16, 32, 64)
 
 
 @dataclass(frozen=True)
-class Fig11Result:
+class Fig11Result(ExperimentResult):
     """Throughput (samples/s) per design per model."""
 
     disagg: Dict[str, Dict[int, float]]  # model -> cores -> samples/s
@@ -78,15 +85,19 @@ class Fig11Result:
             )
         return out
 
+    def columns(self) -> List[str]:
+        return ["model", "Disagg(1)", "Disagg(16)", "Disagg(32)", "Disagg(64)", "PreSto"]
+
     def render(self) -> str:
         table = format_table(
-            ["model", "Disagg(1)", "Disagg(16)", "Disagg(32)", "Disagg(64)", "PreSto"],
+            self.columns(),
             self.rows(),
             title="Figure 11: preprocessing throughput normalized to Disagg(1)",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("fig11", title="Figure 11", kind="figure", order=70)
 def run(calibration: Calibration = CALIBRATION) -> Fig11Result:
     """Regenerate Figure 11."""
     disagg: Dict[str, Dict[int, float]] = {}

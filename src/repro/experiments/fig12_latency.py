@@ -16,12 +16,18 @@ from typing import Dict, List, Tuple
 from repro.core.cpu_worker import CpuPreprocessingWorker
 from repro.core.isp_worker import IspPreprocessingWorker
 from repro.core.worker import BREAKDOWN_STEPS
-from repro.experiments.common import PaperClaim, format_table, models
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    models,
+    register_experiment,
+)
 from repro.hardware.calibration import CALIBRATION, Calibration
 
 
 @dataclass(frozen=True)
-class Fig12Result:
+class Fig12Result(ExperimentResult):
     """Breakdowns (seconds) for both designs per model."""
 
     disagg: Dict[str, Dict[str, float]]
@@ -70,9 +76,12 @@ class Fig12Result:
                 out.append((model, design, *normalized, sum(normalized)))
         return out
 
+    def columns(self) -> List[str]:
+        return ["model", "design"] + list(BREAKDOWN_STEPS) + ["total"]
+
     def render(self) -> str:
         table = format_table(
-            ["model", "design"] + list(BREAKDOWN_STEPS) + ["total"],
+            self.columns(),
             self.rows(),
             title="Figure 12: latency breakdown normalized to Disagg total",
         )
@@ -90,6 +99,7 @@ class Fig12Result:
         )
 
 
+@register_experiment("fig12", title="Figure 12", kind="figure", order=80)
 def run(calibration: Calibration = CALIBRATION) -> Fig12Result:
     """Regenerate Figure 12."""
     disagg: Dict[str, Dict[str, float]] = {}

@@ -10,13 +10,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import PaperClaim, format_table, models
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    models,
+    register_experiment,
+)
 from repro.hardware.calibration import CALIBRATION, Calibration
 from repro.network.rpc import RpcAccounting, RpcBatchCosts
 
 
 @dataclass(frozen=True)
-class Fig13Result:
+class Fig13Result(ExperimentResult):
     """Per-model aggregate RPC costs for both designs."""
 
     disagg: Dict[str, RpcBatchCosts]
@@ -58,15 +64,19 @@ class Fig13Result:
             )
         return out
 
+    def columns(self) -> List[str]:
+        return ["model", "Disagg (norm)", "PreSto (norm)", "Disagg (ms)", "PreSto (ms)"]
+
     def render(self) -> str:
         table = format_table(
-            ["model", "Disagg (norm)", "PreSto (norm)", "Disagg (ms)", "PreSto (ms)"],
+            self.columns(),
             self.rows(),
             title="Figure 13: aggregate RPC latency per mini-batch",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("fig13", title="Figure 13", kind="figure", order=90)
 def run(calibration: Calibration = CALIBRATION) -> Fig13Result:
     """Regenerate Figure 13."""
     accounting = RpcAccounting(calibration)

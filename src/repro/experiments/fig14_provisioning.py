@@ -13,7 +13,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.systems import DisaggCpuSystem, PreStoSystem
-from repro.experiments.common import PaperClaim, format_table, models
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    models,
+    register_experiment,
+)
 from repro.hardware.calibration import CALIBRATION, Calibration
 from repro.hardware.power import PowerModel
 
@@ -21,7 +27,7 @@ NUM_GPUS = 8
 
 
 @dataclass(frozen=True)
-class Fig14Result:
+class Fig14Result(ExperimentResult):
     """Provisioned resources per model."""
 
     isp_units: Dict[str, int]
@@ -69,15 +75,19 @@ class Fig14Result:
             for model in self.isp_units
         ]
 
+    def columns(self) -> List[str]:
+        return ["model", "ISP units", "CPU cores", "CPU nodes", "ISP worst-case W"]
+
     def render(self) -> str:
         table = format_table(
-            ["model", "ISP units", "CPU cores", "CPU nodes", "ISP worst-case W"],
+            self.columns(),
             self.rows(),
             title="Figure 14: resources to sustain an 8xA100 training node",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("fig14", title="Figure 14", kind="figure", order=100)
 def run(calibration: Calibration = CALIBRATION) -> Fig14Result:
     """Regenerate Figure 14."""
     power = PowerModel(calibration)

@@ -17,14 +17,20 @@ from typing import Dict, List, Tuple
 from repro.analysis.cost import cost_efficiency
 from repro.analysis.energy import energy_efficiency
 from repro.core.systems import DisaggCpuSystem, PreStoSystem
-from repro.experiments.common import PaperClaim, format_table, models
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    models,
+    register_experiment,
+)
 from repro.hardware.calibration import CALIBRATION, Calibration
 
 NUM_GPUS = 8
 
 
 @dataclass(frozen=True)
-class Fig15Result:
+class Fig15Result(ExperimentResult):
     """Per-model efficiency ratios (PreSto / Disagg)."""
 
     energy_ratio: Dict[str, float]
@@ -68,23 +74,27 @@ class Fig15Result:
             for model in self.energy_ratio
         ]
 
+    def columns(self) -> List[str]:
+        return [
+            "model",
+            "energy gain (x)",
+            "cost gain (x)",
+            "Disagg W",
+            "PreSto W",
+            "Disagg $",
+            "PreSto $",
+        ]
+
     def render(self) -> str:
         table = format_table(
-            [
-                "model",
-                "energy gain (x)",
-                "cost gain (x)",
-                "Disagg W",
-                "PreSto W",
-                "Disagg $",
-                "PreSto $",
-            ],
+            self.columns(),
             self.rows(),
             title="Figure 15: energy- and cost-efficiency (PreSto vs Disagg)",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("fig15", title="Figure 15", kind="figure", order=110)
 def run(calibration: Calibration = CALIBRATION) -> Fig15Result:
     """Regenerate Figure 15."""
     energy_ratio: Dict[str, float] = {}

@@ -15,14 +15,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import PaperClaim, build_system, format_table, models
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    build_system,
+    format_table,
+    models,
+    register_experiment,
+)
 from repro.hardware.calibration import CALIBRATION, Calibration
 
 DESIGNS = ("A100", "U280", "PreSto (U280)", "PreSto (SmartSSD)")
 
 
 @dataclass(frozen=True)
-class Fig16Result:
+class Fig16Result(ExperimentResult):
     """Per-design throughput and perf/W for every model."""
 
     throughput: Dict[str, Dict[str, float]]  # model -> design -> samples/s
@@ -86,15 +93,19 @@ class Fig16Result:
                 )
         return out
 
+    def columns(self) -> List[str]:
+        return ["model", "design", "throughput (vs A100)", "perf/W (vs A100)"]
+
     def render(self) -> str:
         table = format_table(
-            ["model", "design", "throughput (vs A100)", "perf/W (vs A100)"],
+            self.columns(),
             self.rows(),
             title="Figure 16: alternative accelerated preprocessing",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("fig16", title="Figure 16", kind="figure", order=120)
 def run(calibration: Calibration = CALIBRATION) -> Fig16Result:
     """Regenerate Figure 16."""
     throughput: Dict[str, Dict[str, float]] = {}

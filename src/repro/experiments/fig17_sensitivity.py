@@ -15,7 +15,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.cpu_worker import CpuPreprocessingWorker
-from repro.experiments.common import PaperClaim, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    register_experiment,
+)
 from repro.features.specs import get_model
 from repro.hardware.accelerator import AcceleratorModel
 from repro.hardware.calibration import CALIBRATION, Calibration
@@ -25,7 +30,7 @@ OPS = ("bucketize", "sigridhash", "log")
 
 
 @dataclass(frozen=True)
-class Fig17Result:
+class Fig17Result(ExperimentResult):
     """Per-(op, scale) latencies for both designs."""
 
     disagg: Dict[Tuple[str, int], float]  # (op, scale) -> seconds
@@ -76,15 +81,19 @@ class Fig17Result:
                 )
         return out
 
+    def columns(self) -> List[str]:
+        return ["op", "scale", "Disagg (norm)", "PreSto (norm)", "speedup (x)"]
+
     def render(self) -> str:
         table = format_table(
-            ["op", "scale", "Disagg (norm)", "PreSto (norm)", "speedup (x)"],
+            self.columns(),
             self.rows(),
             title="Figure 17: per-op latency vs feature count (RM5 base)",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("fig17", title="Figure 17", kind="figure", order=130)
 def run(
     base_model: str = "RM5", calibration: Calibration = CALIBRATION
 ) -> Fig17Result:

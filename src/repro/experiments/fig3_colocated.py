@@ -14,7 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.experiments.common import PaperClaim, build_system, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    build_system,
+    format_table,
+    register_experiment,
+)
 from repro.features.specs import get_model
 from repro.hardware.calibration import CALIBRATION, Calibration
 from repro.training.gpu import GpuTrainingModel
@@ -23,7 +29,7 @@ CORE_COUNTS = (1, 2, 4, 8, 16)
 
 
 @dataclass(frozen=True)
-class Fig3Result:
+class Fig3Result(ExperimentResult):
     """Series of Figure 3."""
 
     model: str
@@ -48,6 +54,9 @@ class Fig3Result:
             PaperClaim("GPU util at 16 cores (<0.20)", 0.19, self.utilization_at_16),
         ]
 
+    def columns(self) -> List[str]:
+        return ["cores", "preproc samples/s", "A100 util (%)"]
+
     def rows(self) -> List[Tuple[int, float, float]]:
         return [
             (n, tput, 100.0 * util)
@@ -58,7 +67,7 @@ class Fig3Result:
 
     def render(self) -> str:
         table = format_table(
-            ["cores", "preproc samples/s", "A100 util (%)"],
+            self.columns(),
             self.rows(),
             title=(
                 f"Figure 3 ({self.model}): co-located preprocessing; max "
@@ -68,6 +77,7 @@ class Fig3Result:
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("fig3", title="Figure 3", kind="figure", order=10)
 def run(
     model: str = "RM5", calibration: Calibration = CALIBRATION
 ) -> Fig3Result:

@@ -12,14 +12,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import PaperClaim, format_table, models, scenario_for
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    models,
+    register_experiment,
+    scenario_for,
+)
 from repro.hardware.calibration import CALIBRATION, Calibration
 
 NUM_GPUS = 8
 
 
 @dataclass(frozen=True)
-class Fig4Result:
+class Fig4Result(ExperimentResult):
     """Cores required per model."""
 
     cores: Dict[str, int]
@@ -52,15 +59,19 @@ class Fig4Result:
             for name in self.cores
         ]
 
+    def columns(self) -> List[str]:
+        return ["model", "cores", "8-GPU demand (samples/s)", "per-core P (samples/s)"]
+
     def render(self) -> str:
         table = format_table(
-            ["model", "cores", "8-GPU demand (samples/s)", "per-core P (samples/s)"],
+            self.columns(),
             self.rows(),
             title="Figure 4: CPU cores required per 8xA100 node",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("fig4", title="Figure 4", kind="figure", order=20)
 def run(calibration: Calibration = CALIBRATION) -> Fig4Result:
     """Regenerate Figure 4."""
     cores: Dict[str, int] = {}

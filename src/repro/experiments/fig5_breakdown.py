@@ -15,14 +15,20 @@ from typing import Dict, List, Tuple
 
 from repro.core.cpu_worker import CpuPreprocessingWorker
 from repro.core.worker import BREAKDOWN_STEPS
-from repro.experiments.common import PaperClaim, format_table, models
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    models,
+    register_experiment,
+)
 from repro.hardware.calibration import CALIBRATION, Calibration
 
 TRANSFORM_STEPS = ("bucketize", "sigridhash", "log")
 
 
 @dataclass(frozen=True)
-class Fig5Result:
+class Fig5Result(ExperimentResult):
     """Per-model step breakdowns (seconds) plus normalized views."""
 
     breakdowns: Dict[str, Dict[str, float]]
@@ -84,15 +90,19 @@ class Fig5Result:
             )
         return out
 
+    def columns(self) -> List[str]:
+        return ["model"] + list(BREAKDOWN_STEPS) + ["total"]
+
     def render(self) -> str:
         table = format_table(
-            ["model"] + list(BREAKDOWN_STEPS) + ["total"],
+            self.columns(),
             self.rows(),
             title="Figure 5: CPU worker latency breakdown (normalized to RM1 total)",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("fig5", title="Figure 5", kind="figure", order=30)
 def run(calibration: Calibration = CALIBRATION) -> Fig5Result:
     """Regenerate Figure 5."""
     breakdowns = {

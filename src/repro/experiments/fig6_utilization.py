@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import PaperClaim, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    register_experiment,
+)
 from repro.features.specs import get_model
 from repro.hardware.cache import CacheModel, UtilizationSample
 
@@ -20,7 +25,7 @@ MODELS = ("RM1", "RM5")
 
 
 @dataclass(frozen=True)
-class Fig6Result:
+class Fig6Result(ExperimentResult):
     """One UtilizationSample per (model, op)."""
 
     samples: Dict[Tuple[str, str], UtilizationSample]
@@ -49,15 +54,19 @@ class Fig6Result:
             for (model, _), sample in self.samples.items()
         ]
 
+    def columns(self) -> List[str]:
+        return ["model", "op", "CPU util (%)", "mem BW util (%)", "LLC hit (%)"]
+
     def render(self) -> str:
         table = format_table(
-            ["model", "op", "CPU util (%)", "mem BW util (%)", "LLC hit (%)"],
+            self.columns(),
             self.rows(),
             title="Figure 6: kernel-level utilization of the transform ops",
         )
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("fig6", title="Figure 6", kind="figure", order=40)
 def run() -> Fig6Result:
     """Regenerate Figure 6."""
     model = CacheModel()

@@ -1,71 +1,130 @@
 """Full paper-vs-measured report: run every experiment, render every table,
 and summarize which claims hold.  ``python -m repro.experiments.report``
 prints the whole thing.
+
+The report is registry-driven: every experiment module registers itself
+with :data:`repro.api.EXPERIMENT_REGISTRY`, and this module just asks the
+registry for the paper-ordered specs.  ``run_all`` therefore picks up
+user-registered experiments automatically, can fan out across a
+``multiprocessing`` pool, and can replay results from a
+:class:`~repro.api.experiment.RunStore` cache — all while producing output
+byte-identical to a serial, uncached run.
+
+The old hand-maintained ``EXPERIMENTS`` / ``ABLATIONS`` dicts survive as
+deprecated live views of the registry.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import warnings
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.experiments import (
-    abl_batch_size,
-    abl_double_buffering,
-    abl_lane_sweep,
-    abl_multijob,
-    abl_network_contention,
-    abl_network_sweep,
-    abl_row_vs_columnar,
-    fig3_colocated,
-    fig4_cores_required,
-    fig5_breakdown,
-    fig6_utilization,
-    fig11_throughput,
-    fig12_latency,
-    fig13_network,
-    fig14_provisioning,
-    fig15_efficiency,
-    fig16_alternatives,
-    fig17_sensitivity,
-    table1_models,
-    table2_resources,
+from repro.api.experiment import (
+    EXPERIMENT_REGISTRY,
+    ExperimentRun,
+    RunStore,
+    run_experiments,
 )
 from repro.experiments.common import PaperClaim
 
-#: experiment id -> runner, in paper order
-EXPERIMENTS: Dict[str, Callable[[], object]] = {
-    "Figure 3": fig3_colocated.run,
-    "Figure 4": fig4_cores_required.run,
-    "Figure 5": fig5_breakdown.run,
-    "Figure 6": fig6_utilization.run,
-    "Table I": table1_models.run,
-    "Table II": table2_resources.run,
-    "Figure 11": fig11_throughput.run,
-    "Figure 12": fig12_latency.run,
-    "Figure 13": fig13_network.run,
-    "Figure 14": fig14_provisioning.run,
-    "Figure 15": fig15_efficiency.run,
-    "Figure 16": fig16_alternatives.run,
-    "Figure 17": fig17_sensitivity.run,
-}
 
-#: ablations and sensitivity studies beyond the paper's figures
-ABLATIONS: Dict[str, Callable[[], object]] = {
-    "Ablation: row vs columnar": abl_row_vs_columnar.run,
-    "Ablation: double buffering": abl_double_buffering.run,
-    "Ablation: unit lane sweep": abl_lane_sweep.run,
-    "Sensitivity: link speed": abl_network_sweep.run,
-    "Fleet: network contention": abl_network_contention.run,
-    "Sensitivity: batch size": abl_batch_size.run,
-    "Fleet: multi-job scheduling": abl_multijob.run,
-}
+class _DeprecatedRunnerView(Mapping):
+    """Live, read-only title -> runner view of the experiment registry.
+
+    The hand-maintained experiment dicts are gone; list and run experiments
+    through :data:`repro.api.EXPERIMENT_REGISTRY` (or ``repro list`` /
+    ``repro run``) instead.  This shim still behaves like the old dicts —
+    including any newly registered user experiments — but warns on use.
+    """
+
+    def __init__(self, name: str, kinds: Tuple[str, ...]) -> None:
+        self._name = name
+        self._kinds = kinds
+
+    def _warn(self) -> None:
+        warnings.warn(
+            f"report.{self._name} is deprecated; use "
+            "repro.api.EXPERIMENT_REGISTRY (or ExperimentRun) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def _specs(self):
+        return [
+            spec
+            for spec in EXPERIMENT_REGISTRY.experiments()
+            if spec.kind in self._kinds
+        ]
+
+    def __getitem__(self, title: str) -> Callable[[], object]:
+        self._warn()
+        for spec in self._specs():
+            if spec.title == title:
+                return spec.runner
+        raise KeyError(title)
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        return iter(spec.title for spec in self._specs())
+
+    def __len__(self) -> int:
+        return len(self._specs())
 
 
-def run_all(include_ablations: bool = True) -> Dict[str, object]:
-    """Run every experiment (and, by default, every ablation)."""
-    results = {name: runner() for name, runner in EXPERIMENTS.items()}
-    if include_ablations:
-        results.update({name: runner() for name, runner in ABLATIONS.items()})
-    return results
+#: deprecated: experiment title -> runner, in paper order (live registry view)
+EXPERIMENTS: Mapping[str, Callable[[], object]] = _DeprecatedRunnerView(
+    "EXPERIMENTS", ("figure", "table")
+)
+
+#: deprecated: ablations and sensitivity studies beyond the paper's figures
+ABLATIONS: Mapping[str, Callable[[], object]] = _DeprecatedRunnerView(
+    "ABLATIONS", ("ablation",)
+)
+
+
+def _selected_specs(
+    include_ablations: bool = True, kinds: Optional[Sequence[str]] = None
+):
+    """Paper-ordered specs, filtered by ``kinds`` (or the legacy flag)."""
+    specs = EXPERIMENT_REGISTRY.experiments()
+    if kinds is not None:
+        wanted = set(kinds)
+        return [spec for spec in specs if spec.kind in wanted]
+    if not include_ablations:
+        return [spec for spec in specs if spec.kind != "ablation"]
+    return list(specs)
+
+
+def run_all(
+    include_ablations: bool = True,
+    *,
+    kinds: Optional[Sequence[str]] = None,
+    parallel: bool = False,
+    processes: Optional[int] = None,
+    store: Optional[RunStore] = None,
+    force: bool = False,
+) -> Dict[str, object]:
+    """Run every registered experiment (and, by default, every ablation).
+
+    Results come back keyed by paper title, in paper order, regardless of
+    ``parallel`` or cache hits — a parallel or cached run renders
+    byte-identically to a serial fresh one.
+    """
+    specs = _selected_specs(include_ablations, kinds)
+    runs = [ExperimentRun(spec.id) for spec in specs]
+    results = run_experiments(
+        runs, parallel=parallel, processes=processes, store=store, force=force
+    )
+    return {spec.title: result for spec, result in zip(specs, results)}
 
 
 def collect_claims(results: Dict[str, object]) -> List[Tuple[str, PaperClaim]]:
@@ -78,10 +137,17 @@ def collect_claims(results: Dict[str, object]) -> List[Tuple[str, PaperClaim]]:
     return claims
 
 
-def render_report(results: Dict[str, object] = None) -> str:
-    """The full text report (every table + the claims scoreboard)."""
+def render_report(
+    results: Optional[Dict[str, object]] = None, **run_kwargs
+) -> str:
+    """The full text report (every table + the claims scoreboard).
+
+    Keyword arguments (``parallel``, ``processes``, ``store``, ``force``,
+    ``kinds``, ``include_ablations``) are forwarded to :func:`run_all` when
+    ``results`` is not supplied.
+    """
     if results is None:
-        results = run_all()
+        results = run_all(**run_kwargs)
     sections = []
     for name, result in results.items():
         sections.append("=" * 78)
@@ -97,6 +163,57 @@ def render_report(results: Dict[str, object] = None) -> str:
     for name, claim in claims:
         sections.append(f"{name}: {claim.render().strip()}")
     return "\n".join(sections)
+
+
+def experiment_record(
+    result, spec=None, run: Optional[ExperimentRun] = None
+) -> Dict:
+    """One experiment's JSON record — the shared shape behind both
+    ``repro run --json`` items and ``repro report --json`` entries.
+
+    ``run`` (when given) adds the originating :class:`ExperimentRun` so the
+    record is replayable; ``spec`` defaults to the run's spec.
+    """
+    if spec is None and run is not None:
+        spec = run.spec
+    record = {
+        "id": spec.id if spec else None,
+        "title": spec.title if spec else None,
+        "kind": spec.kind if spec else None,
+        "columns": list(result.columns()),
+        "rows": [list(row) for row in result.rows()],
+        "claims": [claim.to_dict() for claim in result.claims()],
+        "result": result.to_dict(),
+    }
+    if run is not None:
+        record["run"] = run.to_dict()
+    return record
+
+
+def report_payload(results: Optional[Dict[str, object]] = None, **run_kwargs) -> Dict:
+    """The report as one JSON-able payload (``repro report --json``).
+
+    Per experiment: id, title, kind, columns/rows, claims, and the full
+    encoded result; plus the held/total claims scoreboard.
+    """
+    if results is None:
+        results = run_all(**run_kwargs)
+    by_title = {
+        spec.title: spec for spec in EXPERIMENT_REGISTRY.experiments()
+    }
+    experiments = []
+    held = total = 0
+    for title, result in results.items():
+        record = experiment_record(result, spec=by_title.get(title))
+        if record["title"] is None:
+            record["title"] = title
+        held += sum(1 for c in record["claims"] if c["holds"])
+        total += len(record["claims"])
+        experiments.append(record)
+    return {
+        "experiments": experiments,
+        "scoreboard": {"held": held, "total": total},
+    }
 
 
 def main() -> None:

@@ -10,7 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import format_table, models
+from repro.experiments.common import (
+    ExperimentResult,
+    format_table,
+    models,
+    register_experiment,
+)
 
 #: Table I verbatim: (dense, sparse, avg len, generated, bucket, tables)
 PAPER_TABLE1: Dict[str, Tuple[int, int, int, int, int, int]] = {
@@ -23,7 +28,7 @@ PAPER_TABLE1: Dict[str, Tuple[int, int, int, int, int, int]] = {
 
 
 @dataclass(frozen=True)
-class Table1Result:
+class Table1Result(ExperimentResult):
     """Spec rows plus their match against the published table."""
 
     rows_by_model: Dict[str, Tuple[int, int, int, int, int, int]]
@@ -47,23 +52,27 @@ class Table1Result:
             for name, row in self.rows_by_model.items()
         ]
 
+    def columns(self) -> List[str]:
+        return [
+            "model",
+            "dense",
+            "sparse",
+            "avg len",
+            "generated",
+            "bucket",
+            "tables",
+            "matches paper",
+        ]
+
     def render(self) -> str:
         return format_table(
-            [
-                "model",
-                "dense",
-                "sparse",
-                "avg len",
-                "generated",
-                "bucket",
-                "tables",
-                "matches paper",
-            ],
+            self.columns(),
             self.rows(),
             title="Table I: model/dataset configurations",
         )
 
 
+@register_experiment("table1", title="Table I", kind="table", order=50)
 def run() -> Table1Result:
     """Validate the reproduced Table I."""
     rows = {

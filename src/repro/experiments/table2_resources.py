@@ -10,7 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import PaperClaim, format_table
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperClaim,
+    format_table,
+    register_experiment,
+)
 from repro.hardware.fpga import (
     RESOURCE_KINDS,
     SMARTSSD_FPGA,
@@ -31,7 +36,7 @@ PAPER_TABLE2: Dict[str, Dict[str, float]] = {
 
 
 @dataclass(frozen=True)
-class Table2Result:
+class Table2Result(ExperimentResult):
     """Measured utilization plus the U280 feasibility check."""
 
     utilization: Dict[str, Dict[str, float]]
@@ -60,9 +65,12 @@ class Table2Result:
             )
         return out
 
+    def columns(self) -> List[str]:
+        return ["unit"] + [f"{k} (%)" for k in RESOURCE_KINDS]
+
     def render(self) -> str:
         table = format_table(
-            ["unit"] + [f"{k} (%)" for k in RESOURCE_KINDS],
+            self.columns(),
             self.rows(),
             title=(
                 f"Table II: PreSto resource utilization on {SMARTSSD_FPGA.name} "
@@ -72,6 +80,7 @@ class Table2Result:
         return table + "\n" + "\n".join(c.render() for c in self.claims())
 
 
+@register_experiment("table2", title="Table II", kind="table", order=60)
 def run() -> Table2Result:
     """Regenerate Table II."""
     return Table2Result(
