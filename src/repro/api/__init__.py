@@ -12,6 +12,10 @@ Five pieces:
 * :class:`PreprocessJob` — the data-plane scenario: one declarative
   sharded preprocessing run through :class:`repro.exec.ShardExecutor`,
   with a content digest proving parallel == serial output;
+* the streaming-service surface — :class:`JobRecord` / :class:`StageEvent`
+  lifecycle records and the :data:`SOURCE_REGISTRY` /
+  :func:`register_source` job-source plugin catalog behind ``repro serve``
+  (the service itself lives in :mod:`repro.serve`);
 * :class:`ExperimentRegistry` / :func:`register_experiment` /
   :class:`ExperimentRun` / :class:`RunStore` — the paper-experiment
   catalog: every figure/table/ablation module registers its runner, runs
@@ -51,6 +55,31 @@ from repro.api.result import RunResult
 from repro.api.scenario import PROVISION_MODES, Scenario, calibration_overrides
 from repro.api.sweep import Sweep
 
+# the serve-layer job/record types and source plugins are part of the API
+# surface, but repro.serve builds on the modules above (its records hold
+# PreprocessJobs), so they re-export lazily to keep the import acyclic
+_SERVE_EXPORTS = {
+    "JobLogIndex": "repro.serve.records",
+    "JobRecord": "repro.serve.records",
+    "StageEvent": "repro.serve.records",
+    "SOURCE_REGISTRY": "repro.serve.sources",
+    "JobSource": "repro.serve.sources",
+    "SourceRegistry": "repro.serve.sources",
+    "register_source": "repro.serve.sources",
+}
+
+
+def __getattr__(name):
+    if name in _SERVE_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_SERVE_EXPORTS[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SERVE_EXPORTS))
+
 __all__ = [
     "EXPERIMENT_KINDS",
     "EXPERIMENT_REGISTRY",
@@ -77,4 +106,11 @@ __all__ = [
     "PreprocessJob",
     "PreprocessRunResult",
     "minibatch_digest",
+    "JobLogIndex",
+    "JobRecord",
+    "StageEvent",
+    "SOURCE_REGISTRY",
+    "JobSource",
+    "SourceRegistry",
+    "register_source",
 ]

@@ -428,6 +428,72 @@ def bench_shard_executor(size: int, reps: int, seed: int) -> List[BenchResult]:
     ]
 
 
+def bench_serve(size: int, reps: int, seed: int) -> List[BenchResult]:
+    """Streaming-service overhead, measured with a no-op data plane.
+
+    ``serve_queue`` is the raw bounded-queue + worker-pool round trip (what
+    the daemon adds on top of the executor per job); ``serve_lifecycle`` is
+    the full service path — submit, lifecycle record transitions, JSONL
+    index appends — so the payload is the real bytes the job index writes.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api.preprocess import PreprocessJob
+    from repro.serve import BoundedJobQueue, PreprocessService, WorkerPool
+
+    num_jobs = max(min(size // 1000, 512), 32)
+
+    def pump() -> int:
+        queue = BoundedJobQueue(capacity=num_jobs)
+        done: List[int] = []
+        pool = WorkerPool(
+            queue,
+            lambda item, attempt: item,
+            num_workers=2,
+            on_done=lambda item, result, error: done.append(item),
+        )
+        pool.start()
+        for item in range(num_jobs):
+            queue.put(item)
+        pool.drain(timeout=60.0)
+        return len(done)
+
+    elapsed = _best_of(pump, max(1, reps // 2))
+    # payload here is bookkeeping, not data: count one queue slot per job
+    results = [_result("serve_queue", "vectorized", num_jobs, num_jobs * 64, elapsed)]
+
+    index_bytes = 0
+
+    def lifecycle() -> None:
+        nonlocal index_bytes
+        import os
+
+        spool = tempfile.mkdtemp(prefix="repro-bench-serve-")
+        try:
+            with PreprocessService(
+                spool_dir=spool,
+                queue_capacity=num_jobs,
+                num_workers=2,
+                runner=lambda job, record_stage: "bench-digest",
+            ) as service:
+                records = [
+                    service.submit(PreprocessJob(model="RM1", num_rows=64, seed=i))
+                    for i in range(num_jobs)
+                ]
+                for record in records:
+                    service.wait(record.job_id, timeout=60.0)
+            index_bytes = os.path.getsize(os.path.join(spool, "jobs.jsonl"))
+        finally:
+            shutil.rmtree(spool, ignore_errors=True)
+
+    elapsed = _best_of(lifecycle, max(1, reps // 2))
+    results.append(
+        _result("serve_lifecycle", "vectorized", num_jobs, index_bytes, elapsed)
+    )
+    return results
+
+
 def bench_ops(size: int, reps: int, rng: np.random.Generator) -> List[BenchResult]:
     """The numpy preprocessing kernels the Transform phase is built from."""
     from repro.ops.bucketize import bucketize
@@ -471,6 +537,7 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> Dict[str, object]:
     results += bench_ops(size, reps, np.random.default_rng(seed + 4))
     results += bench_pipeline(min(size, 500_000), reps, seed + 5)
     results += bench_shard_executor(min(size, 500_000), reps, seed + 6)
+    results += bench_serve(min(size, 200_000), reps, seed + 7)
     return {
         "schema_version": _SCHEMA_VERSION,
         "quick": quick,

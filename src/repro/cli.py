@@ -32,7 +32,19 @@ Commands:
 * ``bench``           — run the kernel/end-to-end microbenchmarks, print the
                         timing table and write ``BENCH_kernels.json`` (the
                         repo's recorded perf trajectory; ``--quick`` for a
-                        CI-sized smoke run).
+                        CI-sized smoke run);
+* ``serve``           — run the streaming preprocessing daemon: a bounded
+                        work queue feeding a persistent worker pool, watched
+                        job sources (``--watch DIR``, ``--synthetic SPEC``),
+                        a JSONL job index in the spool directory, and a
+                        line-oriented JSON socket protocol for clients;
+* ``submit``/``status``/``jobs``/``cancel``/``shutdown`` — the client
+                        surface of a running daemon: submit a preprocessing
+                        job (``--wait`` streams it to completion), poll one
+                        job or list all of them, cancel a queued job, or
+                        stop the daemon (draining by default).  Clients find
+                        the daemon through ``--spool`` (its
+                        ``endpoint.json``) or an explicit ``--host/--port``.
 
 Experiments are resolved through :data:`repro.api.EXPERIMENT_REGISTRY`, so a
 user-registered experiment (see ``examples/custom_experiment.py``) shows up
@@ -47,8 +59,7 @@ import argparse
 import json
 import sys
 import time
-import warnings
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.api import (
     EXPERIMENT_REGISTRY,
@@ -66,42 +77,6 @@ from repro.errors import ReproError
 from repro.experiments import report as report_mod
 from repro.experiments.common import format_table
 from repro.features.specs import MODEL_NAMES, get_model
-
-
-class _DeprecatedCommandIds(Mapping):
-    """Live, read-only id -> title view of the experiment registry.
-
-    The hand-maintained ``COMMAND_IDS`` dict is gone; resolve experiment
-    ids through :data:`repro.api.EXPERIMENT_REGISTRY` instead.  This shim
-    still behaves like the old dict — including any newly registered user
-    experiments — but warns on use.
-    """
-
-    def _warn(self) -> None:
-        warnings.warn(
-            "cli.COMMAND_IDS is deprecated; use repro.api.EXPERIMENT_REGISTRY "
-            "instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def __getitem__(self, command_id: str) -> str:
-        self._warn()
-        for spec in EXPERIMENT_REGISTRY.experiments():
-            if spec.id == command_id:
-                return spec.title
-        raise KeyError(command_id)
-
-    def __iter__(self):
-        self._warn()
-        return iter(EXPERIMENT_REGISTRY.ids())
-
-    def __len__(self) -> int:
-        return len(EXPERIMENT_REGISTRY)
-
-
-#: deprecated: short CLI ids -> report keys (live registry view)
-COMMAND_IDS: Mapping[str, str] = _DeprecatedCommandIds()
 
 #: ``--only`` choices -> registry kinds
 _ONLY_KINDS = {"figures": "figure", "tables": "table", "ablations": "ablation"}
@@ -520,6 +495,201 @@ def cmd_preprocess(args: argparse.Namespace) -> int:
     return 0
 
 
+#: default spool directory shared by the daemon and its clients
+DEFAULT_SPOOL = ".repro-serve"
+
+
+def _parse_synthetic(spec: str):
+    """``MODEL[:ROWS[:SHARDS[:COUNT]]]`` -> a synthetic job source."""
+    from repro.serve import SOURCE_REGISTRY
+
+    parts = spec.split(":")
+    if len(parts) > 4 or not parts[0]:
+        raise SystemExit(
+            f"--synthetic expects MODEL[:ROWS[:SHARDS[:COUNT]]], got {spec!r}"
+        )
+    try:
+        kwargs = {"model": parts[0]}
+        if len(parts) > 1:
+            kwargs["num_rows"] = int(parts[1])
+        if len(parts) > 2:
+            kwargs["num_shards"] = int(parts[2])
+        if len(parts) > 3:
+            kwargs["count"] = int(parts[3])
+        return SOURCE_REGISTRY.create("synthetic", **kwargs)
+    except (ValueError, ReproError) as exc:
+        raise SystemExit(f"--synthetic {spec!r}: {exc}")
+
+
+def _client_from_args(args: argparse.Namespace):
+    """A protocol client found via --host/--port or the spool endpoint."""
+    from repro.serve import ServiceClient
+
+    try:
+        return ServiceClient(
+            host=args.host, port=args.port, spool_dir=args.spool
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+
+def _record_lines(record, verbose: bool = False) -> List[str]:
+    """Human-readable lines for one job record."""
+    lines = [
+        f"{record.job_id}  {record.state:9}  {record.job.label:28}  "
+        f"source={record.source}  attempts={record.attempts}"
+    ]
+    if record.digest:
+        lines.append(f"    digest  {record.digest}")
+    if record.error:
+        lines.append(f"    error   {record.error}")
+    if verbose:
+        for event in record.stages:
+            elapsed = (
+                f" {event.elapsed_s * 1e3:8.1f} ms"
+                if event.elapsed_s is not None
+                else ""
+            )
+            metrics = (
+                "  " + ", ".join(f"{k}={v}" for k, v in event.metrics.items())
+                if event.metrics
+                else ""
+            )
+            error = f"  error={event.error}" if event.error else ""
+            lines.append(
+                f"    stage   {event.stage:10} {event.status:9}"
+                f"{elapsed}{metrics}{error}"
+            )
+    return lines
+
+
+def _print_record(record, as_json: bool, verbose: bool = False) -> None:
+    if as_json:
+        print(json.dumps(record.to_dict(), indent=2))
+    else:
+        print("\n".join(_record_lines(record, verbose=verbose)))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the streaming preprocessing daemon until shutdown."""
+    from repro.serve import PreprocessService, ServiceServer, SOURCE_REGISTRY
+
+    try:
+        service = PreprocessService(
+            spool_dir=args.spool,
+            queue_capacity=args.queue,
+            num_workers=args.workers,
+            policy=args.policy,
+            max_retries=args.max_retries,
+            backoff_s=args.backoff,
+            poll_interval=args.poll,
+        )
+        for path in args.watch or []:
+            service.attach_source(SOURCE_REGISTRY.create("directory", path=path))
+        for spec in args.synthetic or []:
+            service.attach_source(_parse_synthetic(spec))
+        server = ServiceServer(service, host=args.host, port=args.port)
+        server.start()
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"repro serve: listening on {server.host}:{server.port} "
+        f"(spool {args.spool}, {args.workers} workers, "
+        f"queue {args.queue}/{args.policy})",
+        flush=True,
+    )
+    try:
+        while not server.wait(timeout=0.5):
+            pass
+        print("repro serve: shut down", flush=True)
+    except KeyboardInterrupt:
+        print("repro serve: interrupted — draining", flush=True)
+        server.stop(drain=True)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one preprocessing job to a running daemon."""
+    try:
+        job = PreprocessJob(
+            model=args.model,
+            num_rows=args.rows,
+            num_shards=args.shards,
+            processes=args.processes,
+            seed=args.seed,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    client = _client_from_args(args)
+    try:
+        record = client.submit(
+            job, wait=args.wait, wait_timeout=args.timeout
+        )
+    except (ReproError, TimeoutError) as exc:
+        raise SystemExit(str(exc))
+    _print_record(record, args.json, verbose=args.wait)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Show one job's full lifecycle record."""
+    client = _client_from_args(args)
+    try:
+        if args.follow:
+            record = None
+            for record in client.watch(args.job_id, timeout=args.timeout):
+                if not args.json:
+                    print(_record_lines(record)[0])
+            _print_record(record, args.json, verbose=True)
+        else:
+            _print_record(
+                client.status(args.job_id), args.json, verbose=True
+            )
+    except (ReproError, TimeoutError) as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List every job the daemon knows about."""
+    client = _client_from_args(args)
+    try:
+        records = client.jobs(state=args.state)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2))
+        return 0
+    if not records:
+        print("no jobs")
+        return 0
+    for record in records:
+        print(_record_lines(record)[0])
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """Cancel a queued job (running jobs are not cancellable)."""
+    client = _client_from_args(args)
+    try:
+        cancelled = client.cancel(args.job_id)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    print(f"{args.job_id}: {'cancelled' if cancelled else 'not cancellable'}")
+    return 0 if cancelled else 1
+
+
+def cmd_shutdown(args: argparse.Namespace) -> int:
+    """Ask a running daemon to stop (draining queued work by default)."""
+    client = _client_from_args(args)
+    try:
+        client.shutdown(drain=not args.no_drain)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    print("shutdown requested" + (" (no drain)" if args.no_drain else ""))
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the microbenchmarks; print a table and write the JSON report."""
     from repro import benchmark
@@ -655,6 +825,94 @@ def build_parser() -> argparse.ArgumentParser:
     prep.add_argument("--json", action="store_true",
                       help="emit the summary as JSON")
     prep.set_defaults(func=cmd_preprocess)
+
+    serve = sub.add_parser(
+        "serve", help="run the streaming preprocessing daemon"
+    )
+    serve.add_argument("--spool", default=DEFAULT_SPOOL,
+                       help="spool directory (job index + endpoint file)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default 0 = ephemeral; the chosen "
+                            "port lands in the spool's endpoint.json)")
+    serve.add_argument("--queue", type=int, default=16,
+                       help="bounded queue capacity (default 16)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="persistent pool size (default 2)")
+    serve.add_argument("--policy", choices=("block", "reject"),
+                       default="block",
+                       help="full-queue backpressure: block or reject")
+    serve.add_argument("--max-retries", type=int, default=1,
+                       help="extra attempts per job on transient failure")
+    serve.add_argument("--backoff", type=float, default=0.05,
+                       help="base retry backoff seconds (doubles per retry)")
+    serve.add_argument("--poll", type=float, default=0.2,
+                       help="source watcher poll interval seconds")
+    serve.add_argument("--watch", action="append", metavar="DIR",
+                       help="watch a directory for dropped job-spec JSON "
+                            "files (repeatable)")
+    serve.add_argument("--synthetic", action="append", metavar="SPEC",
+                       help="attach a synthetic source, "
+                            "MODEL[:ROWS[:SHARDS[:COUNT]]] (repeatable)")
+    serve.set_defaults(func=cmd_serve)
+
+    def client_parser(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--spool", default=DEFAULT_SPOOL,
+                       help="daemon spool directory (endpoint discovery)")
+        p.add_argument("--host", default=None,
+                       help="daemon host (overrides endpoint file)")
+        p.add_argument("--port", type=int, default=None,
+                       help="daemon port (overrides endpoint file)")
+        return p
+
+    submit = client_parser("submit", "submit one job to a running daemon")
+    submit.add_argument("--model", default="RM1",
+                        help="Table I model (default RM1)")
+    submit.add_argument("--rows", type=int, default=8192,
+                        help="synthetic rows to preprocess")
+    submit.add_argument("--shards", type=int, default=1,
+                        help="number of partitions / mini-batches")
+    submit.add_argument("--processes", type=int, default=None,
+                        help="per-job data-plane pool size")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="synthetic data seed")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="--wait timeout in seconds")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the job record as JSON")
+    submit.set_defaults(func=cmd_submit)
+
+    status = client_parser("status", "show one job's lifecycle record")
+    status.add_argument("job_id", help="job id (see `jobs`)")
+    status.add_argument("--follow", action="store_true",
+                        help="stream transitions until the job is terminal")
+    status.add_argument("--timeout", type=float, default=None,
+                        help="--follow timeout in seconds")
+    status.add_argument("--json", action="store_true",
+                        help="emit the job record as JSON")
+    status.set_defaults(func=cmd_status)
+
+    jobs = client_parser("jobs", "list the daemon's jobs")
+    jobs.add_argument("--state", default=None,
+                      choices=("queued", "running", "completed", "failed",
+                               "cancelled"),
+                      help="only jobs in this state")
+    jobs.add_argument("--json", action="store_true",
+                      help="emit job records as JSON")
+    jobs.set_defaults(func=cmd_jobs)
+
+    cancel = client_parser("cancel", "cancel a queued job")
+    cancel.add_argument("job_id", help="job id (see `jobs`)")
+    cancel.set_defaults(func=cmd_cancel)
+
+    shutdown = client_parser("shutdown", "stop a running daemon")
+    shutdown.add_argument("--no-drain", action="store_true",
+                          help="cancel queued jobs instead of draining them")
+    shutdown.set_defaults(func=cmd_shutdown)
 
     bench = sub.add_parser(
         "bench", help="run kernel microbenchmarks, write BENCH_kernels.json"

@@ -20,7 +20,6 @@ from repro.core.systems import (
     A100PoolSystem,
     U280PoolSystem,
     PreStoU280System,
-    ALL_SYSTEM_FACTORIES,
 )
 from repro.core.manager import PreprocessManager
 from repro.core.endtoend import EndToEndSimulation, PipelineStats
@@ -43,7 +42,6 @@ __all__ = [
     "A100PoolSystem",
     "U280PoolSystem",
     "PreStoU280System",
-    "ALL_SYSTEM_FACTORIES",
     "PreprocessManager",
     "EndToEndSimulation",
     "PipelineStats",

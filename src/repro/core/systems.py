@@ -9,16 +9,13 @@ the inputs to Figures 3, 4, 11, 14, 15, and 16.
 from __future__ import annotations
 
 import abc
-import math
-import warnings
-from typing import Callable, Iterator, Mapping
 
 from repro.errors import ConfigurationError
 from repro.features.specs import ModelSpec
 from repro.hardware.calibration import CALIBRATION, Calibration
 from repro.hardware.cpu import CpuCoreModel
 from repro.hardware.power import PowerModel
-from repro.api.registry import REGISTRY, register_system
+from repro.api.registry import register_system
 from repro.core.accel_worker import GpuPoolWorker, PreStoU280Worker, U280PoolWorker
 from repro.core.cpu_worker import CpuPreprocessingWorker
 from repro.core.isp_worker import IspPreprocessingWorker
@@ -213,41 +210,3 @@ class PreStoU280System(PreprocessingSystem):
 
     def capex(self, num_workers: int) -> float:
         return num_workers * self.cal.u280_price + self.cal.presto_host_share_price
-
-
-class _DeprecatedFactoryView(Mapping):
-    """Live, read-only view of the registry kept for backwards compatibility.
-
-    The hard-coded ``ALL_SYSTEM_FACTORIES`` dict is gone; construct systems
-    through :mod:`repro.api` (``Scenario``, ``get_system``, ``REGISTRY``)
-    instead.  This shim still behaves like the old dict — including any
-    newly registered user systems — but warns on use.
-    """
-
-    def _warn(self) -> None:
-        warnings.warn(
-            "ALL_SYSTEM_FACTORIES is deprecated; use repro.api "
-            "(Scenario, get_system, REGISTRY) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def __getitem__(self, name: str) -> Callable[..., PreprocessingSystem]:
-        self._warn()
-        try:
-            return REGISTRY.get(name)
-        except ConfigurationError:
-            raise KeyError(name)
-
-    def __iter__(self) -> Iterator[str]:
-        self._warn()
-        return iter(REGISTRY.names())
-
-    def __len__(self) -> int:
-        return len(REGISTRY.names())
-
-
-#: deprecated name -> constructor mapping (see :class:`_DeprecatedFactoryView`)
-ALL_SYSTEM_FACTORIES: Mapping[str, Callable[..., PreprocessingSystem]] = (
-    _DeprecatedFactoryView()
-)

@@ -54,3 +54,23 @@ class ConfigurationError(ReproError):
 
 class ExecutionError(ReproError):
     """A sharded preprocessing execution was configured or driven wrongly."""
+
+
+class ServeError(ReproError):
+    """The streaming preprocessing service was configured or driven wrongly."""
+
+
+class QueueFullError(ServeError):
+    """A bounded work queue rejected a submission (explicit backpressure)."""
+
+
+class QueueClosedError(ServeError):
+    """The work queue no longer accepts or holds work (service shut down)."""
+
+
+class JobNotFoundError(ServeError):
+    """No job with the requested id exists in the service's lifecycle store."""
+
+
+class ProtocolError(ServeError):
+    """A client/server exchange on the serve protocol was malformed."""

@@ -25,14 +25,18 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.dataio.columnar import ColumnarFileReader, TableData
 from repro.dataio.partition import Partition, RowPartitioner
 from repro.errors import ExecutionError
 from repro.features.minibatch import MiniBatch
 from repro.ops.pipeline import OpCounts, PreprocessingPipeline
+
+#: stage telemetry hook: (stage, "started"|"completed", summary metrics)
+StageCallback = Callable[[str, str, Dict[str, float]], None]
 
 #: pipeline shared by every task a pool worker runs (set by the initializer)
 _WORKER_PIPELINE: Optional[PreprocessingPipeline] = None
@@ -172,13 +176,33 @@ class ShardExecutor:
 
     def _run_serial(self, partitions: List[Partition]) -> List[ShardResult]:
         """Inline path: Extract every shard, then one fused Transform pass."""
+        return self._extract_transform(partitions, lambda stage, status, m: None)
+
+    def _extract_transform(
+        self,
+        partitions: List[Partition],
+        notify: "StageCallback",
+    ) -> List[ShardResult]:
         wanted = self.pipeline.required_columns()
+        notify("extract", "started", {})
+        start = time.perf_counter()
         readers = [ColumnarFileReader(p.file_bytes) for p in partitions]
         raws = [reader.read_columns(wanted) for reader in readers]
+        notify(
+            "extract",
+            "completed",
+            {
+                "elapsed_s": time.perf_counter() - start,
+                "bytes_read": sum(r.bytes_read for r in readers),
+                "file_bytes": sum(p.size for p in partitions),
+            },
+        )
+        notify("transform", "started", {})
+        start = time.perf_counter()
         transformed = self.pipeline.run_many(
             raws, start_batch_id=partitions[0].index if partitions else 0
         )
-        return [
+        results = [
             ShardResult(
                 index=partition.index,
                 batch=batch,
@@ -190,6 +214,48 @@ class ShardExecutor:
                 partitions, readers, transformed
             )
         ]
+        notify(
+            "transform",
+            "completed",
+            {
+                "elapsed_s": time.perf_counter() - start,
+                "batches": len(results),
+                "transform_elements": sum(
+                    r.counts.transform_elements for r in results
+                ),
+            },
+        )
+        return results
+
+    def run_staged(
+        self, data: TableData, on_stage: Optional["StageCallback"] = None
+    ) -> List[ShardResult]:
+        """Serial run emitting structured stage telemetry.
+
+        ``on_stage(stage, status, metrics)`` fires with status ``started``
+        then ``completed`` for each of the pipeline's stages — ``partition``
+        (slice + columnar write), ``extract`` (selective column read), and
+        ``transform`` (the fused op pipeline) — with summary metrics on
+        completion.  A failing stage raises; the caller records the failure
+        and marks the stages that never ran as skipped.  Output is
+        bit-identical to :meth:`run` (the streaming service's digest check
+        depends on exactly that).
+        """
+        notify = on_stage or (lambda stage, status, metrics: None)
+        notify("partition", "started", {})
+        start = time.perf_counter()
+        partitions = self.partitioner.partition_all(data)
+        notify(
+            "partition",
+            "completed",
+            {
+                "elapsed_s": time.perf_counter() - start,
+                "shards": len(partitions),
+                "rows": sum(p.num_rows for p in partitions),
+                "file_bytes": sum(p.size for p in partitions),
+            },
+        )
+        return self._extract_transform(partitions, notify)
 
     def run_batches(
         self, data: TableData, parallel: bool = True

@@ -9,24 +9,11 @@ user-registered experiments automatically, can fan out across a
 ``multiprocessing`` pool, and can replay results from a
 :class:`~repro.api.experiment.RunStore` cache — all while producing output
 byte-identical to a serial, uncached run.
-
-The old hand-maintained ``EXPERIMENTS`` / ``ABLATIONS`` dicts survive as
-deprecated live views of the registry.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import (
-    Callable,
-    Dict,
-    Iterator,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.experiment import (
     EXPERIMENT_REGISTRY,
@@ -35,60 +22,6 @@ from repro.api.experiment import (
     run_experiments,
 )
 from repro.experiments.common import PaperClaim
-
-
-class _DeprecatedRunnerView(Mapping):
-    """Live, read-only title -> runner view of the experiment registry.
-
-    The hand-maintained experiment dicts are gone; list and run experiments
-    through :data:`repro.api.EXPERIMENT_REGISTRY` (or ``repro list`` /
-    ``repro run``) instead.  This shim still behaves like the old dicts —
-    including any newly registered user experiments — but warns on use.
-    """
-
-    def __init__(self, name: str, kinds: Tuple[str, ...]) -> None:
-        self._name = name
-        self._kinds = kinds
-
-    def _warn(self) -> None:
-        warnings.warn(
-            f"report.{self._name} is deprecated; use "
-            "repro.api.EXPERIMENT_REGISTRY (or ExperimentRun) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def _specs(self):
-        return [
-            spec
-            for spec in EXPERIMENT_REGISTRY.experiments()
-            if spec.kind in self._kinds
-        ]
-
-    def __getitem__(self, title: str) -> Callable[[], object]:
-        self._warn()
-        for spec in self._specs():
-            if spec.title == title:
-                return spec.runner
-        raise KeyError(title)
-
-    def __iter__(self) -> Iterator[str]:
-        self._warn()
-        return iter(spec.title for spec in self._specs())
-
-    def __len__(self) -> int:
-        return len(self._specs())
-
-
-#: deprecated: experiment title -> runner, in paper order (live registry view)
-EXPERIMENTS: Mapping[str, Callable[[], object]] = _DeprecatedRunnerView(
-    "EXPERIMENTS", ("figure", "table")
-)
-
-#: deprecated: ablations and sensitivity studies beyond the paper's figures
-ABLATIONS: Mapping[str, Callable[[], object]] = _DeprecatedRunnerView(
-    "ABLATIONS", ("ablation",)
-)
 
 
 def _selected_specs(

@@ -1,0 +1,213 @@
+"""Persistent worker pool draining the bounded job queue.
+
+A fixed crew of worker threads pulls job ids off a
+:class:`~repro.serve.queue.BoundedJobQueue` and pushes each through the
+``runner`` callable (the service's staged ShardExecutor path).  The pool
+owns three responsibilities the batch executor never needed:
+
+* **retry with backoff** — a runner that raises an ``Exception`` is retried
+  up to ``max_retries`` extra times, sleeping ``backoff_s * factor**n``
+  between attempts; only then is the job reported failed;
+* **worker replacement** — a worker that *dies* (a ``BaseException`` such
+  as ``SystemExit`` escaping the runner, the stand-in for a crashed
+  process) reports the in-flight job as failed and is replaced by a fresh
+  worker, so one poisoned job can never hang the queue;
+* **graceful drain** — :meth:`drain` closes the queue and waits until every
+  queued and in-flight job has reached a terminal report; :meth:`stop`
+  instead cancels the queued tail explicitly and waits only for in-flight
+  work.  Either way no job vanishes silently.
+
+The pool is deliberately thread- (not process-) based: jobs themselves are
+numpy-heavy and the per-job data plane can still fan out across processes,
+while the pool layer stays cheap to start, easy to observe, and able to
+share the in-memory lifecycle store.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import QueueClosedError, ServeError
+from repro.serve.queue import BoundedJobQueue
+
+#: runner(item, attempt) -> result; raising Exception triggers a retry
+JobRunner = Callable[[Any, int], Any]
+
+
+class WorkerPool:
+    """Threaded consumers with per-job retry/backoff and self-replacement."""
+
+    def __init__(
+        self,
+        queue: BoundedJobQueue,
+        runner: JobRunner,
+        num_workers: int = 2,
+        max_retries: int = 1,
+        backoff_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+        on_done: Optional[Callable[[Any, Any, Optional[BaseException]], None]] = None,
+        on_retry: Optional[Callable[[Any, int, Exception, float], None]] = None,
+        on_worker_death: Optional[
+            Callable[[str, Any, BaseException], None]
+        ] = None,
+    ) -> None:
+        if not isinstance(num_workers, int) or num_workers <= 0:
+            raise ServeError(
+                f"num_workers must be a positive int, got {num_workers!r}"
+            )
+        if not isinstance(max_retries, int) or max_retries < 0:
+            raise ServeError(
+                f"max_retries must be a non-negative int, got {max_retries!r}"
+            )
+        if backoff_s < 0 or backoff_factor <= 0:
+            raise ServeError("backoff_s must be >= 0 and backoff_factor > 0")
+        self.queue = queue
+        self.num_workers = num_workers
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.backoff_factor = backoff_factor
+        self._runner = runner
+        self._sleep = sleep
+        self._on_done = on_done or (lambda item, result, error: None)
+        self._on_retry = on_retry or (lambda item, attempt, error, delay: None)
+        self._on_worker_death = on_worker_death or (
+            lambda worker, item, error: None
+        )
+        self._lock = threading.Lock()
+        self._threads: Dict[str, threading.Thread] = {}
+        self._inflight: Dict[str, Any] = {}
+        self._names = itertools.count()
+        self._stopping = False
+        self._started = False
+        self._replaced = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the initial crew (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for _ in range(self.num_workers):
+                self._spawn_locked()
+
+    def _spawn_locked(self) -> None:
+        name = f"serve-worker-{next(self._names)}"
+        thread = threading.Thread(
+            target=self._worker_main, args=(name,), name=name, daemon=True
+        )
+        self._threads[name] = thread
+        thread.start()
+
+    @property
+    def workers_replaced(self) -> int:
+        """How many dead workers the pool has replaced so far."""
+        with self._lock:
+            return self._replaced
+
+    def alive_workers(self) -> int:
+        with self._lock:
+            return sum(1 for t in self._threads.values() if t.is_alive())
+
+    def inflight(self) -> Dict[str, Any]:
+        """worker name -> item currently being executed."""
+        with self._lock:
+            return dict(self._inflight)
+
+    # -- worker body ---------------------------------------------------------
+
+    def _worker_main(self, name: str) -> None:
+        current = None
+        try:
+            while True:
+                try:
+                    item = self.queue.get()
+                except QueueClosedError:
+                    return
+                current = item
+                with self._lock:
+                    self._inflight[name] = item
+                try:
+                    self._run_one(item)
+                finally:
+                    with self._lock:
+                        self._inflight.pop(name, None)
+                current = None
+        except BaseException as death:  # worker crash: report + replace
+            with self._lock:
+                self._inflight.pop(name, None)
+            self._on_worker_death(name, current, death)
+            if current is not None:
+                self._on_done(current, None, death)
+            with self._lock:
+                if not self._stopping:
+                    self._replaced += 1
+                    self._spawn_locked()
+
+    def _run_one(self, item: Any) -> None:
+        """Run one job to a terminal report, retrying transient failures."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = self._runner(item, attempt)
+            except Exception as error:
+                if attempt > self.max_retries:
+                    self._on_done(item, None, error)
+                    return
+                delay = self.backoff_s * self.backoff_factor ** (attempt - 1)
+                self._on_retry(item, attempt, error, delay)
+                if delay > 0:
+                    self._sleep(delay)
+                continue
+            self._on_done(item, result, None)
+            return
+
+    # -- shutdown ------------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Close the queue and finish every queued + in-flight job.
+
+        Dead workers are still replaced while draining, so the tail of the
+        queue completes even if a poison job kills its worker.  Returns
+        ``True`` when every worker exited within ``timeout``.
+        """
+        self.queue.close()
+        done = self._join(timeout)
+        with self._lock:
+            self._stopping = True
+        return done
+
+    def stop(self, timeout: Optional[float] = None) -> List[Any]:
+        """Cancel the queued tail, finish in-flight jobs, and shut down.
+
+        Returns the queued items that were cancelled (never executed) so
+        the caller can mark them explicitly — nothing disappears.
+        """
+        cancelled = self.queue.cancel(lambda item: True)
+        self.queue.close()
+        self._join(timeout)
+        with self._lock:
+            self._stopping = True
+        return cancelled
+
+    def _join(self, timeout: Optional[float]) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                threads = [t for t in self._threads.values() if t.is_alive()]
+            if not threads:
+                return True
+            for thread in threads:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                thread.join(remaining)
+            # loop again: a worker may have died and been replaced mid-join

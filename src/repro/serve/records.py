@@ -1,0 +1,252 @@
+"""Job lifecycle records — the service's source of truth.
+
+Every job the streaming service touches is described by one frozen,
+dict-round-trippable :class:`JobRecord`: which :class:`PreprocessJob` was
+asked for, where it came from (``source``), where it stands
+(queued/running/completed/failed/cancelled), when it moved
+(``submitted_at``/``started_at``/``completed_at``), how often it was tried,
+the per-stage :class:`StageEvent` telemetry, and — once finished — the
+minibatch content digest that makes the service's central guarantee
+checkable (``repro submit --wait`` digests match ``repro preprocess
+--serial`` byte for byte).
+
+Records are immutable; every transition produces a new record via the
+``mark_*`` helpers, and :class:`JobLogIndex` appends each transition to a
+JSONL index next to the spool directory (last line per job wins, most
+recently completed first on load) so a restarted or external process can
+reconstruct the full lifecycle without talking to the daemon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.api.preprocess import PreprocessJob
+from repro.errors import ReproError, ServeError
+
+#: every state a job can be in; the last three are terminal
+JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+#: every status a pipeline stage event can carry
+STAGE_STATUSES = ("started", "completed", "failed", "skipped")
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One structured telemetry event for one pipeline stage.
+
+    ``failed`` events must carry error details; ``skipped`` records a stage
+    that never ran because an earlier one failed — it is written explicitly
+    rather than left absent, so a record's stage list always names the full
+    pipeline.
+    """
+
+    stage: str
+    status: str
+    at: float  # unix timestamp of the event
+    elapsed_s: Optional[float] = None
+    metrics: Mapping[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.stage, str) or not self.stage.strip():
+            raise ServeError("stage must be a non-empty string")
+        if self.status not in STAGE_STATUSES:
+            raise ServeError(
+                f"stage status must be one of {STAGE_STATUSES}, "
+                f"got {self.status!r}"
+            )
+        if self.status == "failed" and not self.error:
+            raise ServeError("failed stage events must include error details")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "at": self.at,
+            "elapsed_s": self.elapsed_s,
+            "metrics": dict(self.metrics),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StageEvent":
+        _check_keys(cls, data)
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """The full lifecycle of one service job (immutable snapshot)."""
+
+    job_id: str
+    job: PreprocessJob
+    source: str = "client"
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    attempts: int = 0
+    stages: Tuple[StageEvent, ...] = ()
+    digest: Optional[str] = None
+    error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.job_id, str) or not self.job_id.strip():
+            raise ServeError("job_id must be a non-empty string")
+        if not isinstance(self.job, PreprocessJob):
+            raise ServeError(f"job must be a PreprocessJob, got {self.job!r}")
+        if self.state not in JOB_STATES:
+            raise ServeError(
+                f"state must be one of {JOB_STATES}, got {self.state!r}"
+            )
+        if not isinstance(self.attempts, int) or self.attempts < 0:
+            raise ServeError(
+                f"attempts must be a non-negative int, got {self.attempts!r}"
+            )
+        if self.state == "failed" and not self.error:
+            raise ServeError("failed jobs must include error details")
+        if self.state == "completed" and not self.digest:
+            raise ServeError("completed jobs must include the output digest")
+        object.__setattr__(self, "stages", tuple(self.stages))
+        for event in self.stages:
+            if not isinstance(event, StageEvent):
+                raise ServeError(f"stages must hold StageEvents, got {event!r}")
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether this record can never transition again."""
+        return self.state in TERMINAL_STATES
+
+    # -- transitions (functional updates) ------------------------------------
+
+    def mark_running(self, at: float) -> "JobRecord":
+        """One more attempt starts executing now."""
+        return dataclasses.replace(
+            self,
+            state="running",
+            started_at=self.started_at if self.started_at is not None else at,
+            attempts=self.attempts + 1,
+        )
+
+    def mark_completed(self, at: float, digest: str) -> "JobRecord":
+        return dataclasses.replace(
+            self, state="completed", completed_at=at, digest=digest, error=None
+        )
+
+    def mark_failed(self, at: float, error: str) -> "JobRecord":
+        return dataclasses.replace(
+            self, state="failed", completed_at=at, error=error
+        )
+
+    def mark_cancelled(self, at: float, reason: Optional[str] = None) -> "JobRecord":
+        return dataclasses.replace(
+            self, state="cancelled", completed_at=at, error=reason
+        )
+
+    def with_stage(self, event: StageEvent) -> "JobRecord":
+        """Append one stage telemetry event."""
+        return dataclasses.replace(self, stages=self.stages + (event,))
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (round-trips via :meth:`from_dict`)."""
+        return {
+            "job_id": self.job_id,
+            "job": self.job.to_dict(),
+            "source": self.source,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "attempts": self.attempts,
+            "stages": [event.to_dict() for event in self.stages],
+            "digest": self.digest,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobRecord":
+        """Rebuild a record from :meth:`to_dict` output (strict keys)."""
+        _check_keys(cls, data)
+        payload = dict(data)
+        payload["job"] = PreprocessJob.from_dict(payload["job"])
+        payload["stages"] = tuple(
+            StageEvent.from_dict(event) for event in payload.get("stages", ())
+        )
+        return cls(**payload)
+
+
+def _check_keys(cls, data: Mapping[str, Any]) -> None:
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ServeError(
+            f"unknown {cls.__name__} keys {sorted(unknown)}; "
+            f"expected a subset of {sorted(known)}"
+        )
+
+
+def _completion_key(record: JobRecord) -> float:
+    """Most recent activity: completion, else start, else submission."""
+    for stamp in (record.completed_at, record.started_at, record.submitted_at):
+        if stamp is not None:
+            return stamp
+    return 0.0
+
+
+class JobLogIndex:
+    """Append-only JSONL index of job transitions next to the spool dir.
+
+    One line per transition; on load the last line per ``job_id`` wins and
+    records come back ordered by most recent completion first (the
+    ingestion-log-index convention).  A torn final line — a daemon killed
+    mid-append — is tolerated; corruption anywhere else is a loud
+    :class:`~repro.errors.ServeError`, never a silent skip.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+
+    def append(self, record: JobRecord) -> None:
+        """Durably append one transition (thread-safe)."""
+        line = json.dumps(record.to_dict(), sort_keys=True)
+        with self._lock:
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+
+    def load(self) -> List[JobRecord]:
+        """Latest record per job, most recently completed first."""
+        if not os.path.exists(self.path):
+            return []
+        with self._lock:
+            with open(self.path) as handle:
+                lines = handle.readlines()
+        latest: Dict[str, JobRecord] = {}
+        for number, line in enumerate(lines, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                payload = json.loads(text)
+                record = JobRecord.from_dict(payload)
+            except (ValueError, ReproError) as exc:
+                if number == len(lines) and not line.endswith("\n"):
+                    continue  # torn final append from a killed daemon
+                raise ServeError(
+                    f"corrupt job index {self.path} at line {number}: {exc}"
+                )
+            latest[record.job_id] = record
+        return sorted(latest.values(), key=_completion_key, reverse=True)

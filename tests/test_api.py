@@ -18,7 +18,7 @@ from repro.api import (
     register_system,
 )
 from repro.core.provision import workers_for
-from repro.core.systems import ALL_SYSTEM_FACTORIES, PreStoSystem
+from repro.core.systems import PreStoSystem
 from repro.errors import ConfigurationError
 from repro.features.specs import get_model
 from repro.hardware.calibration import CALIBRATION
@@ -235,22 +235,7 @@ class TestSweep:
         assert list(rebuilt) == list(sweep)
 
 
-class TestDeprecationShims:
-    def test_all_system_factories_still_constructs(self):
-        spec = get_model("RM2")
-        with pytest.deprecated_call():
-            names = list(ALL_SYSTEM_FACTORIES)
-        for name in BUILTIN_SYSTEMS:
-            assert name in names
-        with pytest.deprecated_call():
-            system = ALL_SYSTEM_FACTORIES["PreSto"](spec)
-        assert system.worker_throughput() > 0
-
-    def test_all_system_factories_keyerror(self):
-        with pytest.deprecated_call():
-            with pytest.raises(KeyError):
-                ALL_SYSTEM_FACTORIES["NoSuchSystem"]
-
+class TestEndToEndConstruction:
     def test_endtoend_accepts_system_name(self):
         from repro.core.endtoend import EndToEndSimulation
 

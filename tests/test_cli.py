@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import time
+
 import pytest
 
-from repro.cli import COMMAND_IDS, build_parser, main
+from repro.api import EXPERIMENT_REGISTRY
+from repro.cli import build_parser, main
 
 
 class TestParser:
@@ -25,7 +28,7 @@ class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for command_id in COMMAND_IDS:
+        for command_id in EXPERIMENT_REGISTRY.ids():
             assert command_id in out
 
     def test_run_single(self, capsys):
@@ -157,3 +160,92 @@ class TestPreprocess:
     def test_unknown_model_exits(self):
         with pytest.raises(SystemExit, match="unknown model"):
             main(["preprocess", "--model", "RM99", "--rows", "16"])
+
+
+class TestServeCli:
+    def test_parser_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.spool == ".repro-serve"
+        assert args.queue == 16 and args.workers == 2
+        assert args.policy == "block"
+        args = build_parser().parse_args(
+            ["serve", "--queue", "4", "--policy", "reject",
+             "--synthetic", "RM1:512:2:3", "--watch", "inbox"]
+        )
+        assert args.queue == 4 and args.policy == "reject"
+        assert args.synthetic == ["RM1:512:2:3"]
+        assert args.watch == ["inbox"]
+
+    def test_parser_client_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["submit", "--rows", "128", "--wait"])
+        assert args.rows == 128 and args.wait
+        args = parser.parse_args(["status", "job-000001", "--follow"])
+        assert args.job_id == "job-000001" and args.follow
+        args = parser.parse_args(["jobs", "--state", "completed"])
+        assert args.state == "completed"
+        args = parser.parse_args(["shutdown", "--no-drain"])
+        assert args.no_drain
+
+    def test_parse_synthetic_spec(self):
+        from repro.cli import _parse_synthetic
+
+        source = _parse_synthetic("RM2:1024:4:7")
+        assert source.count == 7
+        with pytest.raises(SystemExit):
+            _parse_synthetic("")
+        with pytest.raises(SystemExit):
+            _parse_synthetic("RM1:not-a-number")
+        with pytest.raises(SystemExit):
+            _parse_synthetic("RM1:1:2:3:4")
+
+    def test_client_without_daemon_exits_loudly(self, tmp_path):
+        with pytest.raises(SystemExit, match="repro serve"):
+            main(["jobs", "--spool", str(tmp_path / "no-daemon")])
+
+    def test_daemon_round_trip_through_cli(self, tmp_path, capsys):
+        """serve -> submit --wait -> jobs -> shutdown, all via main()."""
+        import json as json_mod
+        import threading
+
+        spool = str(tmp_path / "spool")
+        daemon = threading.Thread(
+            target=main,
+            args=(["serve", "--spool", spool, "--workers", "1"],),
+            daemon=True,
+        )
+        daemon.start()
+        endpoint = tmp_path / "spool" / "endpoint.json"
+        # wait until the daemon is up AND its banner has flushed, so the
+        # captured stdout below contains only the client commands' output
+        banner = ""
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            banner += capsys.readouterr().out
+            if endpoint.exists() and "listening" in banner:
+                break
+            time.sleep(0.02)
+        assert endpoint.exists() and "listening" in banner
+
+        assert main(
+            ["submit", "--spool", spool, "--rows", "256", "--shards", "2",
+             "--wait", "--json"]
+        ) == 0
+        record = json_mod.loads(capsys.readouterr().out)
+        assert record["state"] == "completed"
+        assert len(record["digest"]) == 64
+        # the digest matches the serial batch path for the same spec
+        assert main(
+            ["preprocess", "--rows", "256", "--shards", "2", "--serial",
+             "--json"]
+        ) == 0
+        serial = json_mod.loads(capsys.readouterr().out)
+        assert serial["digest"] == record["digest"]
+
+        assert main(["jobs", "--spool", spool]) == 0
+        assert record["job_id"] in capsys.readouterr().out
+        assert main(["shutdown", "--spool", spool]) == 0
+        daemon.join(timeout=30.0)
+        assert not daemon.is_alive()
+        assert not endpoint.exists()
+        assert (tmp_path / "spool" / "jobs.jsonl").exists()

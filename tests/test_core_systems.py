@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.api import available_systems, get_system
 from repro.core.provision import ProvisioningPlan, provision, workers_for
 from repro.core.systems import (
-    ALL_SYSTEM_FACTORIES,
     A100PoolSystem,
     CoLocatedCpuSystem,
     DisaggCpuSystem,
@@ -40,9 +40,9 @@ class TestProvisioning:
 
 
 class TestSystemContracts:
-    @pytest.mark.parametrize("name", list(ALL_SYSTEM_FACTORIES))
+    @pytest.mark.parametrize("name", list(available_systems()))
     def test_common_interface(self, name):
-        system = ALL_SYSTEM_FACTORIES[name](get_model("RM2"))
+        system = get_system(name, get_model("RM2"))
         assert system.worker_throughput() > 0
         assert system.power(2) > 0
         assert system.capex(2) >= 0

@@ -1,10 +1,7 @@
 """Tests for the experiment-harness plumbing (claims, tables, report)."""
 
-import pytest
-
+from repro.api import EXPERIMENT_REGISTRY
 from repro.experiments.common import PaperClaim, format_table, model_names, models
-from repro.experiments.report import ABLATIONS, EXPERIMENTS
-from repro.cli import COMMAND_IDS
 
 
 class TestPaperClaim:
@@ -46,31 +43,12 @@ class TestHarnessConsistency:
         assert model_names() == ["RM1", "RM2", "RM3", "RM4", "RM5"]
         assert [m.name for m in models()] == model_names()
 
-    # the hand-maintained dicts are now deprecated live views of the
-    # experiment registry; they must keep behaving like the old dicts
-    # (same keys, runnable values) while warning on use
-
-    def test_cli_ids_cover_every_experiment(self):
-        """Every report entry is reachable from the CLI and vice versa."""
-        with pytest.deprecated_call():
-            report_keys = set(EXPERIMENTS) | set(ABLATIONS)
-        with pytest.deprecated_call():
-            cli_keys = set(COMMAND_IDS.values())
-        assert cli_keys == report_keys
-
-    def test_no_duplicate_report_keys(self):
-        with pytest.deprecated_call():
-            assert not set(EXPERIMENTS) & set(ABLATIONS)
-
-    def test_deprecated_views_still_run_experiments(self):
-        with pytest.deprecated_call():
-            runner = EXPERIMENTS["Table I"]
-        assert runner().matches_paper
-
-    def test_deprecated_views_raise_keyerror(self):
-        with pytest.deprecated_call():
-            with pytest.raises(KeyError):
-                EXPERIMENTS["Figure 99"]
-        with pytest.deprecated_call():
-            with pytest.raises(KeyError):
-                COMMAND_IDS["fig99"]
+    def test_registry_titles_unique(self):
+        """Figure/table/ablation titles never collide across kinds."""
+        paper = set(EXPERIMENT_REGISTRY.titles("figure")) | set(
+            EXPERIMENT_REGISTRY.titles("table")
+        )
+        ablations = set(EXPERIMENT_REGISTRY.titles("ablation"))
+        assert not paper & ablations
+        titles = list(EXPERIMENT_REGISTRY.titles())
+        assert len(titles) == len(set(titles))

@@ -1,16 +1,21 @@
 """Failure-injection tests: corrupted files, truncated partitions, and
 mid-pipeline data damage must fail loudly (CRC/format errors), never
-silently produce wrong tensors."""
+silently produce wrong tensors — and the streaming service must survive
+the same injections without hanging its queue."""
+
+import dataclasses
 
 import numpy as np
 import pytest
 
+from repro.api import PreprocessJob
 from repro.core.cpu_worker import CpuPreprocessingWorker
 from repro.dataio.columnar import ColumnarFileReader, write_table
 from repro.dataio.partition import RowPartitioner
 from repro.errors import EncodingError, FormatError, ReproError
 from repro.features.specs import get_model
 from repro.features.synthetic import generate_raw_table
+from repro.serve import PreprocessService
 from repro.storage.cluster import DistributedStorage
 from repro.storage.smartssd import SmartSsd
 
@@ -100,3 +105,67 @@ class TestStorageFailures:
             damaged.read_column("int_0")
         intact = damaged.read_column("int_1")  # different chunk: fine
         np.testing.assert_array_equal(intact, reader.read_column("int_1"))
+
+
+class TestServiceFailureInjection:
+    """The same failure classes injected into the streaming service: a job
+    that kills its worker must be reported failed (with error details) and
+    the pool must replace the worker — never hang the queue."""
+
+    JOB = PreprocessJob(model="RM1", num_rows=256, num_shards=1)
+
+    def test_worker_death_fails_job_and_replaces_worker(self, tmp_path):
+        def lethal(job, record_stage):
+            if job.seed == 13:
+                raise SystemExit("simulated worker crash")
+            record_stage("generate", "started", {})
+            record_stage("generate", "completed", {})
+            return f"digest-{job.seed}"
+
+        service = PreprocessService(
+            spool_dir=str(tmp_path), num_workers=1, runner=lethal
+        )
+        service.start()
+        poison = service.submit(dataclasses.replace(self.JOB, seed=13))
+        survivor = service.submit(dataclasses.replace(self.JOB, seed=1))
+        failed = service.wait(poison.job_id, timeout=30.0)
+        # the queue is not hung: the replacement worker runs the next job
+        completed = service.wait(survivor.job_id, timeout=30.0)
+        service.stop(drain=True, timeout=30.0)
+
+        assert failed.state == "failed"
+        assert "SystemExit" in failed.error
+        assert "simulated worker crash" in failed.error
+        assert completed.state == "completed"
+        assert completed.digest == "digest-1"
+        assert service.pool.workers_replaced >= 1
+        assert service.worker_deaths  # the death is audited, not swallowed
+        worker, job_id, error = service.worker_deaths[0]
+        assert job_id == poison.job_id and "SystemExit" in error
+
+    def test_data_corruption_failure_is_loud_with_stage_details(self, tmp_path):
+        """A mid-pipeline ReproError (the CRC/format family above) surfaces
+        as a failed record naming the stage that blew up."""
+
+        def corrupt_extract(job, record_stage):
+            record_stage("generate", "started", {})
+            record_stage("generate", "completed", {})
+            record_stage("extract", "started", {})
+            raise EncodingError("chunk CRC mismatch in column int_0")
+
+        service = PreprocessService(
+            spool_dir=str(tmp_path),
+            num_workers=1,
+            max_retries=0,
+            runner=corrupt_extract,
+        )
+        service.start()
+        record = service.submit(self.JOB)
+        final = service.wait(record.job_id, timeout=30.0)
+        service.stop(drain=True, timeout=30.0)
+
+        assert final.state == "failed"
+        assert "CRC mismatch" in final.error
+        events = {(e.stage, e.status) for e in final.stages}
+        assert ("extract", "failed") in events
+        assert ("transform", "skipped") in events
