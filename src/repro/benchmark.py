@@ -494,6 +494,84 @@ def bench_serve(size: int, reps: int, seed: int) -> List[BenchResult]:
     return results
 
 
+def bench_faults(size: int, reps: int, seed: int) -> List[BenchResult]:
+    """Robustness-tier costs: crash recovery and the chaos matrix.
+
+    ``serve_recovery`` measures a cold start over a spool whose index holds
+    N interrupted jobs — replay, re-enqueue, and re-execution through a
+    stub data plane (the recovery machinery itself, not the numpy kernels).
+    ``chaos_matrix`` times one seeded worker-crash episode end to end with
+    the same stub runner, so the number tracks harness + service overhead.
+    """
+    import os
+    import shutil
+    import tempfile
+    import time as _time
+
+    from repro.api.preprocess import PreprocessJob
+    from repro.faults.chaos import run_episode
+    from repro.serve import JobLogIndex, PreprocessService
+    from repro.serve.records import JobRecord
+
+    num_jobs = max(min(size // 4000, 128), 16)
+    job = PreprocessJob(model="RM1", num_rows=64, num_shards=1, seed=0)
+
+    def recover() -> int:
+        spool = tempfile.mkdtemp(prefix="repro-bench-recover-")
+        try:
+            index = JobLogIndex(os.path.join(spool, "jobs.jsonl"))
+            now = _time.time()
+            for i in range(1, num_jobs + 1):
+                record = JobRecord(
+                    job_id=f"job-{i:06d}", job=job, submitted_at=now
+                )
+                index.append(record)
+                index.append(record.mark_running(now))
+            service = PreprocessService(
+                spool_dir=spool,
+                queue_capacity=16,
+                num_workers=2,
+                runner=lambda job, record_stage: "bench-digest",
+            )
+            service.start()
+            for job_id in service.recovered_jobs:
+                service.wait(job_id, timeout=60.0)
+            service.stop(drain=True, timeout=60.0)
+            return len(service.recovered_jobs)
+        finally:
+            shutil.rmtree(spool, ignore_errors=True)
+
+    elapsed = _best_of(recover, max(1, reps // 2))
+    results = [
+        _result("serve_recovery", "vectorized", num_jobs, num_jobs * 64, elapsed)
+    ]
+
+    def episode() -> None:
+        spool = tempfile.mkdtemp(prefix="repro-bench-chaos-")
+        try:
+            run_episode(
+                "worker-crash",
+                seed=seed,
+                spool_dir=spool,
+                num_jobs=num_jobs // 2,
+                workers=2,
+                job_timeout_s=10.0,
+                runner=lambda job, record_stage: "bench-digest",
+                verify_serial=False,
+            )
+        finally:
+            shutil.rmtree(spool, ignore_errors=True)
+
+    elapsed = _best_of(episode, max(1, reps // 2))
+    results.append(
+        _result(
+            "chaos_matrix", "vectorized", num_jobs // 2,
+            (num_jobs // 2) * 64, elapsed,
+        )
+    )
+    return results
+
+
 def bench_ops(size: int, reps: int, rng: np.random.Generator) -> List[BenchResult]:
     """The numpy preprocessing kernels the Transform phase is built from."""
     from repro.ops.bucketize import bucketize
@@ -538,6 +616,7 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> Dict[str, object]:
     results += bench_pipeline(min(size, 500_000), reps, seed + 5)
     results += bench_shard_executor(min(size, 500_000), reps, seed + 6)
     results += bench_serve(min(size, 200_000), reps, seed + 7)
+    results += bench_faults(min(size, 200_000), reps, seed + 8)
     return {
         "schema_version": _SCHEMA_VERSION,
         "quick": quick,

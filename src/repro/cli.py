@@ -575,6 +575,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import PreprocessService, ServiceServer, SOURCE_REGISTRY
 
     try:
+        if args.faults:
+            from repro.faults import FaultInjector, FaultPlan, install
+
+            install(FaultInjector(FaultPlan.load(args.faults)))
         service = PreprocessService(
             spool_dir=args.spool,
             queue_capacity=args.queue,
@@ -583,6 +587,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             backoff_s=args.backoff,
             poll_interval=args.poll,
+            job_timeout_s=args.job_timeout,
+            index_fsync=not args.no_fsync,
         )
         for path in args.watch or []:
             service.attach_source(SOURCE_REGISTRY.create("directory", path=path))
@@ -598,6 +604,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"queue {args.queue}/{args.policy})",
         flush=True,
     )
+    if service.recovered_jobs:
+        print(
+            f"repro serve: recovered {len(service.recovered_jobs)} "
+            f"interrupted job(s): {', '.join(service.recovered_jobs)}",
+            flush=True,
+        )
     try:
         while not server.wait(timeout=0.5):
             pass
@@ -687,6 +699,46 @@ def cmd_shutdown(args: argparse.Namespace) -> int:
     except ReproError as exc:
         raise SystemExit(str(exc))
     print("shutdown requested" + (" (no drain)" if args.no_drain else ""))
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the seeded fault matrix against a live service; gate on invariants."""
+    from repro.faults import ChaosError
+    from repro.faults.chaos import (
+        DEFAULT_FAULTS,
+        check_report,
+        deterministic_view,
+        render_report,
+        run_chaos,
+    )
+
+    faults = (
+        tuple(f.strip() for f in args.faults.split(",") if f.strip())
+        if args.faults
+        else DEFAULT_FAULTS
+    )
+    try:
+        report = run_chaos(
+            faults,
+            seed=args.seed,
+            num_jobs=args.jobs,
+            rows=args.rows,
+            shards=args.shards,
+            workers=args.workers,
+            job_timeout_s=args.timeout,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(deterministic_view(report), indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    try:
+        check_report(report)
+    except ChaosError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -855,6 +907,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--synthetic", action="append", metavar="SPEC",
                        help="attach a synthetic source, "
                             "MODEL[:ROWS[:SHARDS[:COUNT]]] (repeatable)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job deadline in seconds; a watchdog fails "
+                            "jobs that blow it and replaces their worker")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip fsync on job-index appends (faster, but a "
+                            "host crash can lose the latest transitions)")
+    serve.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="install a FaultPlan JSON file (deterministic "
+                            "fault injection, for drills and tests)")
     serve.set_defaults(func=cmd_serve)
 
     def client_parser(name: str, help_text: str) -> argparse.ArgumentParser:
@@ -898,8 +959,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     jobs = client_parser("jobs", "list the daemon's jobs")
     jobs.add_argument("--state", default=None,
-                      choices=("queued", "running", "completed", "failed",
-                               "cancelled"),
+                      choices=("queued", "running", "interrupted",
+                               "completed", "failed", "cancelled"),
                       help="only jobs in this state")
     jobs.add_argument("--json", action="store_true",
                       help="emit job records as JSON")
@@ -913,6 +974,29 @@ def build_parser() -> argparse.ArgumentParser:
     shutdown.add_argument("--no-drain", action="store_true",
                           help="cancel queued jobs instead of draining them")
     shutdown.set_defaults(func=cmd_shutdown)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the seeded fault matrix against a live service",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault plan seed (same seed => same matrix)")
+    chaos.add_argument("--faults", default=None,
+                       help="comma-separated fault classes (default "
+                            "worker-crash,hung-stage,torn-write)")
+    chaos.add_argument("--jobs", type=int, default=6,
+                       help="jobs per episode (default 6)")
+    chaos.add_argument("--rows", type=int, default=512,
+                       help="synthetic rows per job (default 512)")
+    chaos.add_argument("--shards", type=int, default=2,
+                       help="shards per job (default 2)")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="pool workers per episode (default 2)")
+    chaos.add_argument("--timeout", type=float, default=5.0,
+                       help="per-job watchdog deadline seconds (default 5)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the deterministic report as JSON")
+    chaos.set_defaults(func=cmd_chaos)
 
     bench = sub.add_parser(
         "bench", help="run kernel microbenchmarks, write BENCH_kernels.json"

@@ -60,6 +60,7 @@ from repro.dataio.encoding import (
 )
 from repro.dataio.schema import TableSchema
 from repro.errors import FormatError, SchemaError
+from repro.faults.injector import fault_point
 
 ROW_MAGIC = b"PRSTR\n"
 _FOOTER_LEN = struct.Struct("<I")
@@ -217,7 +218,7 @@ class RowFileWriter:
             cursor = ids_base + row_id_bytes[col]
 
         footer = self._footer(num_rows)
-        return b"".join(
+        blob = b"".join(
             (
                 out.tobytes(),
                 footer,
@@ -225,6 +226,13 @@ class RowFileWriter:
                 ROW_MAGIC,
             )
         )
+        # fault point: one flipped byte in a freshly written row file — the
+        # trailing magic, so any reader must reject the file loudly rather
+        # than ever decoding corrupt rows silently
+        corrupt = fault_point("row-corrupt", rows=num_rows)
+        if corrupt is not None and corrupt.action == "corrupt":
+            blob = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        return blob
 
     def write_scalar(self, data: TableData) -> bytes:
         """Row-by-row reference writer (the original implementation).

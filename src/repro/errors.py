@@ -74,3 +74,17 @@ class JobNotFoundError(ServeError):
 
 class ProtocolError(ServeError):
     """A client/server exchange on the serve protocol was malformed."""
+
+
+class JobTimeoutError(ServeError):
+    """A job blew its deadline; the watchdog failed it and replaced the
+    worker that was stuck running it."""
+
+
+class FaultError(ReproError):
+    """An injected fault fired (deterministic fault-injection harness)."""
+
+
+class ChaosError(ReproError):
+    """A chaos run violated a service invariant (jobs not terminal,
+    digest divergence, duplicate completions, or leaked workers)."""

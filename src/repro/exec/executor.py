@@ -32,6 +32,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.dataio.columnar import ColumnarFileReader, TableData
 from repro.dataio.partition import Partition, RowPartitioner
 from repro.errors import ExecutionError
+from repro.faults.injector import fault_stage
 from repro.features.minibatch import MiniBatch
 from repro.ops.pipeline import OpCounts, PreprocessingPipeline
 
@@ -184,6 +185,7 @@ class ShardExecutor:
         notify: "StageCallback",
     ) -> List[ShardResult]:
         wanted = self.pipeline.required_columns()
+        fault_stage("extract", seed=self.pipeline.generator_seed)
         notify("extract", "started", {})
         start = time.perf_counter()
         readers = [ColumnarFileReader(p.file_bytes) for p in partitions]
@@ -197,6 +199,7 @@ class ShardExecutor:
                 "file_bytes": sum(p.size for p in partitions),
             },
         )
+        fault_stage("transform", seed=self.pipeline.generator_seed)
         notify("transform", "started", {})
         start = time.perf_counter()
         transformed = self.pipeline.run_many(
@@ -242,6 +245,7 @@ class ShardExecutor:
         depends on exactly that).
         """
         notify = on_stage or (lambda stage, status, metrics: None)
+        fault_stage("partition", seed=self.pipeline.generator_seed)
         notify("partition", "started", {})
         start = time.perf_counter()
         partitions = self.partitioner.partition_all(data)

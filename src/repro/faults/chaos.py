@@ -1,0 +1,331 @@
+"""The chaos harness — a seeded fault matrix against a live service.
+
+``repro chaos`` (and :func:`run_chaos`, its library form) runs one
+*episode* per requested fault class: it starts a real
+:class:`~repro.serve.PreprocessService` behind a real
+:class:`~repro.serve.ServiceServer`, installs a seeded
+:class:`~repro.faults.FaultInjector`, submits a stream of jobs through the
+socket protocol, and then asserts the service's survival invariants:
+
+1. **every job reaches a terminal state** — nothing queued, running, or
+   interrupted survives the drain;
+2. **completed digests are byte-identical to the serial path** — faults
+   may fail jobs, but they may never corrupt output silently;
+3. **no duplicate completions** — the JSONL index holds at most one
+   terminal line per job;
+4. **no leaked or hung workers** — ``alive_workers == workers`` after the
+   last job settles (crashed and timed-out workers were replaced).
+
+Everything in an episode's report except wall time is deterministic for a
+fixed seed: fault firing hashes (seed, point, job identity), jobs are
+submitted from one thread, and each job's outcome is decided by its own
+hash — so ``repro chaos --seed 7`` twice yields the same report, and a
+failing seed replays exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.api.preprocess import PreprocessJob
+from repro.errors import ChaosError, ConfigurationError, ReproError
+from repro.faults.injector import FaultInjector, installed
+from repro.faults.plan import FAULT_POINTS, FaultPlan, FaultRule
+
+#: the default matrix CI smokes: crash, hang, and torn-index classes
+DEFAULT_FAULTS = ("worker-crash", "hung-stage", "torn-write")
+
+#: per-class default rates — roughly half the jobs get hit, deterministically
+_DEFAULT_RATES = {
+    "worker-crash": 0.45,
+    "hung-stage": 0.4,
+    "slow-stage": 0.6,
+    "stage-error": 0.5,
+    "torn-write": 0.5,
+    "disk-full": 0.5,
+    "conn-drop": 0.3,
+    "queue-stall": 0.5,
+    "row-corrupt": 0.4,
+}
+
+
+def plan_for(
+    fault: str, seed: int, job_timeout_s: float, rate: Optional[float] = None
+) -> FaultPlan:
+    """The canonical single-class plan an episode runs under."""
+    if fault not in FAULT_POINTS:
+        raise ConfigurationError(
+            f"unknown fault class {fault!r}; known: "
+            f"{', '.join(sorted(FAULT_POINTS))}"
+        )
+    rule = FaultRule(
+        point=fault,
+        rate=rate if rate is not None else _DEFAULT_RATES[fault],
+        # a hang must outlive the watchdog deadline by a wide margin so the
+        # watchdog — not the hang expiring — is what resolves the job
+        delay_s=(
+            job_timeout_s * 10.0 + 5.0 if fault == "hung-stage"
+            else 0.02 if fault in ("slow-stage", "queue-stall") else None
+        ),
+    )
+    return FaultPlan(seed=seed, rules=(rule,))
+
+
+def _submit_all(
+    client, jobs: List[PreprocessJob], retries: int = 5
+) -> int:
+    """Submit every job, retrying dropped replies; returns acked count."""
+    from repro.errors import ProtocolError, ServeError
+
+    acked = 0
+    for job in jobs:
+        for _ in range(retries):
+            try:
+                client.submit(job)
+                acked += 1
+                break
+            except (ProtocolError, ServeError):
+                # a dropped reply may or may not have landed server-side;
+                # resubmitting is safe — duplicates are distinct job ids
+                # with identical specs, and the digest invariant covers both
+                continue
+    return acked
+
+
+def run_episode(
+    fault: str,
+    seed: int,
+    spool_dir: str,
+    num_jobs: int = 6,
+    rows: int = 512,
+    shards: int = 2,
+    workers: int = 2,
+    queue_capacity: int = 16,
+    job_timeout_s: float = 5.0,
+    model: str = "RM1",
+    rate: Optional[float] = None,
+    wait_timeout: float = 120.0,
+    runner: Optional[Callable] = None,
+    verify_serial: bool = True,
+) -> Dict[str, Any]:
+    """One fault class against one live service; returns the episode report.
+
+    ``runner``/``verify_serial`` exist for the benchmark harness (a stub
+    data plane has no serial digest to verify against); ``repro chaos``
+    always runs the real runner with verification on.
+    """
+    from repro.serve import JobLogIndex, PreprocessService, ServiceClient, ServiceServer
+
+    plan = plan_for(fault, seed, job_timeout_s, rate=rate)
+    injector = FaultInjector(plan)
+    violations: List[str] = []
+    started = time.perf_counter()
+    with installed(injector):
+        service = PreprocessService(
+            spool_dir=spool_dir,
+            queue_capacity=queue_capacity,
+            num_workers=workers,
+            max_retries=1,
+            backoff_s=0.01,
+            job_timeout_s=job_timeout_s,
+            runner=runner,
+        )
+        server = ServiceServer(service)
+        server.start()
+        try:
+            client = ServiceClient(host=server.host, port=server.port)
+            jobs = [
+                PreprocessJob(
+                    model=model, num_rows=rows, num_shards=shards, seed=k
+                )
+                for k in range(num_jobs)
+            ]
+            _submit_all(client, jobs)
+            # wait on the service's own ledger: a dropped submit reply can
+            # leave a job the client never heard about
+            deadline = time.monotonic() + wait_timeout
+            for record in service.jobs():
+                remaining = max(0.1, deadline - time.monotonic())
+                try:
+                    service.wait(record.job_id, timeout=remaining)
+                except TimeoutError:
+                    violations.append(
+                        f"{record.job_id} never reached a terminal state "
+                        f"(stuck {service.status(record.job_id).state})"
+                    )
+            # every death/timeout must have been answered with a replacement
+            for _ in range(50):
+                if service.pool.alive_workers() == workers:
+                    break
+                time.sleep(0.05)
+            alive = service.pool.alive_workers()
+            if alive != workers:
+                violations.append(
+                    f"worker leak: {alive} alive workers, expected {workers}"
+                )
+        finally:
+            server.stop(drain=True, timeout=60.0)
+
+    records = service.jobs()
+    counts: Dict[str, int] = {}
+    for record in records:
+        counts[record.state] = counts.get(record.state, 0) + 1
+    for record in records:
+        if not record.is_terminal:
+            violations.append(
+                f"{record.job_id} ended non-terminal ({record.state})"
+            )
+
+    digests_checked = 0
+    if verify_serial and runner is None:
+        serial_digests: Dict[PreprocessJob, str] = {}
+        for record in records:
+            if record.state != "completed":
+                continue
+            expected = serial_digests.get(record.job)
+            if expected is None:
+                expected = record.job.run(parallel=False).digest
+                serial_digests[record.job] = expected
+            digests_checked += 1
+            if record.digest != expected:
+                violations.append(
+                    f"{record.job_id} digest {record.digest} != serial "
+                    f"{expected}"
+                )
+
+    # the index must have survived every injected spool fault: still
+    # loadable, and never more than one terminal line per job
+    index_path = os.path.join(spool_dir, "jobs.jsonl")
+    terminal_lines: Dict[str, int] = {}
+    try:
+        for loaded in JobLogIndex(index_path).load():
+            pass
+        import json as _json
+
+        with open(index_path) as handle:
+            lines = handle.readlines()
+        for number, line in enumerate(lines, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                payload = _json.loads(text)
+            except ValueError as exc:
+                if number == len(lines) and not line.endswith("\n"):
+                    continue  # torn final append — load() tolerates it too
+                raise ReproError(f"line {number}: {exc}")
+            if payload.get("state") in ("completed", "failed", "cancelled"):
+                key = payload["job_id"]
+                terminal_lines[key] = terminal_lines.get(key, 0) + 1
+    except (ReproError, OSError, ValueError) as exc:
+        violations.append(f"job index unreadable after faults: {exc}")
+    duplicates = {k: n for k, n in terminal_lines.items() if n > 1}
+    if duplicates:
+        violations.append(f"duplicate terminal index lines: {duplicates}")
+
+    return {
+        "fault": fault,
+        "plan": plan.to_dict(),
+        "jobs": len(records),
+        "states": dict(sorted(counts.items())),
+        "fired": injector.fire_counts(),
+        "digests_checked": digests_checked,
+        "index_errors": len(service.index_errors),
+        "violations": violations,
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
+def run_chaos(
+    faults: Sequence[str] = DEFAULT_FAULTS,
+    seed: int = 0,
+    spool_root: Optional[str] = None,
+    **episode_kwargs: Any,
+) -> Dict[str, Any]:
+    """Run one episode per fault class; returns the full matrix report.
+
+    The report's ``ok`` is True iff no episode recorded a violation.
+    Everything except the ``elapsed_s`` fields is deterministic for a
+    fixed seed (see :func:`deterministic_view`).
+    """
+    import shutil
+    import tempfile
+
+    owned = spool_root is None
+    root = spool_root or tempfile.mkdtemp(prefix="repro-chaos-")
+    started = time.perf_counter()
+    episodes = []
+    try:
+        for fault in faults:
+            spool = os.path.join(root, fault)
+            episodes.append(
+                run_episode(fault, seed=seed, spool_dir=spool, **episode_kwargs)
+            )
+    finally:
+        if owned:
+            shutil.rmtree(root, ignore_errors=True)
+    return {
+        "schema_version": 1,
+        "seed": seed,
+        "faults": list(faults),
+        "episodes": episodes,
+        "ok": all(not ep["violations"] for ep in episodes),
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
+def deterministic_view(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The report minus wall-time — byte-identical run-to-run per seed."""
+    view = {k: v for k, v in report.items() if k != "elapsed_s"}
+    view["episodes"] = [
+        {k: v for k, v in ep.items() if k != "elapsed_s"}
+        for ep in report["episodes"]
+    ]
+    return view
+
+
+def check_report(report: Dict[str, Any]) -> None:
+    """Raise :class:`ChaosError` naming every violation (CI's gate)."""
+    problems = [
+        f"[{ep['fault']}] {violation}"
+        for ep in report["episodes"]
+        for violation in ep["violations"]
+    ]
+    if problems:
+        raise ChaosError(
+            "chaos invariants violated:\n  " + "\n  ".join(problems)
+        )
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable episode table."""
+    from repro.experiments.common import format_table
+
+    rows = []
+    for ep in report["episodes"]:
+        states = ", ".join(f"{k}={v}" for k, v in ep["states"].items())
+        fired = ", ".join(
+            f"{k}x{v}" for k, v in ep["fired"].items()
+        ) or "none"
+        rows.append(
+            (
+                ep["fault"],
+                ep["jobs"],
+                states,
+                fired,
+                ep["digests_checked"],
+                len(ep["violations"]),
+                f"{ep['elapsed_s']:.2f}",
+            )
+        )
+    title = (
+        f"Chaos matrix (seed {report['seed']}): "
+        + ("all invariants held" if report["ok"] else "VIOLATIONS")
+    )
+    return format_table(
+        ("fault", "jobs", "states", "fired", "digests", "violations", "s"),
+        rows,
+        title,
+    )

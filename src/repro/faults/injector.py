@@ -1,0 +1,210 @@
+"""The fault injector and the probe functions woven through the code.
+
+Probe sites call :func:`fault_point` (or :func:`fault_stage` for pipeline
+stages) with their point name and a small context.  With no injector
+installed — the production default — a probe is a single module-global
+``None`` test and an immediate return: zero allocated objects, no locks,
+no I/O.  With an injector installed, the probe consults the seeded
+:class:`~repro.faults.plan.FaultPlan` and either *executes* generic
+actions itself (``crash`` raises ``SystemExit``, ``error`` raises
+:class:`FaultError`, ``delay`` sleeps, ``hang`` blocks on an interruptible
+event) or *returns* the matched rule for cooperative actions the site must
+enact in kind (``torn``, ``enospc``, ``drop``, ``corrupt``).
+
+Installation is process-global and explicit: :func:`install` /
+:func:`uninstall`, or the :func:`installed` context manager (which also
+releases any injected hangs on exit, so a test never leaks a sleeping
+thread past its scope).  Daemons load a plan from ``repro serve --faults
+PLAN.json``; ``repro chaos`` builds plans programmatically.
+"""
+
+from __future__ import annotations
+
+import errno
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import FaultError
+from repro.faults.plan import FaultPlan, FaultRule
+
+#: the process-global injector; ``None`` means every probe is a no-op
+_ACTIVE: Optional["FaultInjector"] = None
+
+#: default bounded duration of an injected hang (seconds); long enough to
+#: trip any sane watchdog, short enough to never wedge a test run
+DEFAULT_HANG_S = 30.0
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at probe sites and audits every fire."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        if not isinstance(plan, FaultPlan):
+            raise FaultError(f"injector needs a FaultPlan, got {plan!r}")
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._fires: Dict[Tuple[str, str], int] = {}  # (point, action) -> n
+        self._fired: List[Dict[str, Any]] = []
+        #: set to release every injected hang early (uninstall sets it)
+        self._release = threading.Event()
+
+    # -- audit ---------------------------------------------------------------
+
+    def fired(self) -> List[Dict[str, Any]]:
+        """Every fire so far: [{point, action, key}, ...] in fire order."""
+        with self._lock:
+            return [dict(entry) for entry in self._fired]
+
+    def fire_counts(self) -> Dict[str, int]:
+        """``point:action`` -> number of fires (the chaos report's audit)."""
+        with self._lock:
+            return {
+                f"{point}:{action}": count
+                for (point, action), count in sorted(self._fires.items())
+            }
+
+    def release_hangs(self) -> None:
+        """Wake every thread currently blocked in an injected hang."""
+        self._release.set()
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _key_for(self, rule: FaultRule, point: str,
+                 context: Dict[str, Any]) -> str:
+        if rule.key is not None:
+            if rule.key not in context:
+                return self._counter_key(point)
+            return str(context[rule.key])
+        for name in ("job_id", "item", "seed", "worker"):
+            if name in context and context[name] is not None:
+                return str(context[name])
+        return self._counter_key(point)
+
+    def _counter_key(self, point: str) -> str:
+        with self._lock:
+            n = self._counters.get(point, 0)
+            self._counters[point] = n + 1
+        return f"#{n}"
+
+    def check(self, point: str, **context: Any) -> Optional[FaultRule]:
+        """The matched firing rule for this probe occurrence, or ``None``.
+
+        Records the fire in the audit trail; the caller (or
+        :func:`fault_point`) is responsible for enacting the action.
+        """
+        for rule in self.plan.rules_for(point):
+            if not rule.matches(context):
+                continue
+            key = self._key_for(rule, point, context)
+            if self.plan.hash01(point, key) >= rule.rate:
+                continue
+            with self._lock:
+                if rule.max_fires is not None:
+                    total = sum(
+                        n for (p, _), n in self._fires.items() if p == point
+                    )
+                    if total >= rule.max_fires:
+                        continue
+                pair = (point, rule.action)
+                self._fires[pair] = self._fires.get(pair, 0) + 1
+                self._fired.append(
+                    {"point": point, "action": rule.action, "key": key}
+                )
+            return rule
+        return None
+
+    def execute(self, rule: FaultRule, point: str) -> Optional[FaultRule]:
+        """Enact a generic action; return cooperative rules to the site."""
+        if rule.action == "crash":
+            raise SystemExit(f"injected fault: worker crash at {point}")
+        if rule.action == "error":
+            raise FaultError(f"injected fault: transient error at {point}")
+        if rule.action == "enospc":
+            raise OSError(
+                errno.ENOSPC, f"injected fault: disk full at {point}"
+            )
+        if rule.action == "delay":
+            self._release.wait(rule.delay_s if rule.delay_s is not None else 0.05)
+            return None
+        if rule.action == "hang":
+            self._release.wait(
+                rule.delay_s if rule.delay_s is not None else DEFAULT_HANG_S
+            )
+            return None
+        return rule  # torn / drop / corrupt: the probe site enacts it
+
+
+# --------------------------------------------------------------------------
+# installation
+# --------------------------------------------------------------------------
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Make ``injector`` the process-global injector (probes go live)."""
+    global _ACTIVE
+    if not isinstance(injector, FaultInjector):
+        raise FaultError(f"install needs a FaultInjector, got {injector!r}")
+    _ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Disable injection and release any threads stuck in injected hangs."""
+    global _ACTIVE
+    injector, _ACTIVE = _ACTIVE, None
+    if injector is not None:
+        injector.release_hangs()
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The installed injector, or ``None`` (probes disabled)."""
+    return _ACTIVE
+
+
+@contextmanager
+def installed(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Scope-bound installation: uninstalls (and releases hangs) on exit."""
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+# --------------------------------------------------------------------------
+# the probes (call sites across serve / exec / dataio)
+# --------------------------------------------------------------------------
+
+
+def fault_point(point: str, **context: Any) -> Optional[FaultRule]:
+    """The generic probe: no-op unless an injector is installed.
+
+    Generic actions (crash/error/enospc raise; delay/hang block) are
+    executed here; cooperative actions (``torn``, ``drop``, ``corrupt``)
+    are returned for the site to enact.  Disabled cost: one global read
+    and one ``None`` test.
+    """
+    injector = _ACTIVE
+    if injector is None:
+        return None
+    rule = injector.check(point, **context)
+    if rule is None:
+        return None
+    return injector.execute(rule, point)
+
+
+def fault_stage(stage: str, **context: Any) -> None:
+    """Stage-start probe: checks the three stage fault classes in order.
+
+    ``hung-stage`` blocks (bounded, interruptible), ``slow-stage`` sleeps
+    ``delay_s``, ``stage-error`` raises a retryable :class:`FaultError`.
+    Sites pass a stable identity (``seed`` or ``job_id``) so firing is
+    per-job deterministic.
+    """
+    if _ACTIVE is None:
+        return
+    fault_point("hung-stage", stage=stage, **context)
+    fault_point("slow-stage", stage=stage, **context)
+    fault_point("stage-error", stage=stage, **context)

@@ -1,0 +1,242 @@
+"""Deterministic fault plans — *what* goes wrong, *where*, and *how often*.
+
+A :class:`FaultPlan` is a frozen, seeded, dict-round-trippable description
+of the faults one run should experience: a tuple of :class:`FaultRule`
+entries, each naming a **fault point** (a probe site woven through the
+serve/exec/dataio tiers — see :data:`FAULT_POINTS`), an **action** (crash,
+hang, delay, error, torn write, disk-full, connection drop, byte
+corruption), and a **rate**.
+
+Determinism is the whole design: whether a rule fires at a given probe is
+a pure function of ``sha256(plan.seed, point, key)`` — no wall clock, no
+``random`` module, no dependence on thread interleavings.  The ``key`` is
+a stable identity from the probe's context (a job id, a job seed), so the
+same plan against the same workload injects the same faults into the same
+jobs run after run, which is what lets ``repro chaos`` assert a
+reproducible matrix and lets a failing chaos seed be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: the catalog of named fault points (probe sites) woven through the code:
+#: point -> (module that hosts the probe, what firing there means)
+FAULT_POINTS: Dict[str, str] = {
+    "worker-crash": "serve/pool: the worker thread dies mid-job "
+                    "(BaseException escapes — the crashed-process stand-in)",
+    "hung-stage": "exec/executor + serve/service: a pipeline stage blocks "
+                  "past the job deadline (watchdog territory)",
+    "slow-stage": "exec/executor + serve/service: a pipeline stage is "
+                  "delayed by delay_s seconds (degraded, not dead)",
+    "stage-error": "exec/executor + serve/service: a pipeline stage raises "
+                   "a retryable FaultError (transient failure)",
+    "torn-write": "serve/records: the job-index append writes half a line "
+                  "and fails (crash mid-append)",
+    "disk-full": "serve/records: the job-index append fails with ENOSPC "
+                 "before writing (spool volume full)",
+    "conn-drop": "serve/protocol: the server drops the connection "
+                 "mid-reply (client sees EOF instead of an answer)",
+    "queue-stall": "serve/queue: a put is delayed by delay_s seconds "
+                   "(producer-side turbulence)",
+    "row-corrupt": "dataio/rowformat: one byte of a freshly written row "
+                   "file is flipped (must be caught downstream, loudly)",
+}
+
+#: what each action does when its rule fires
+FAULT_ACTIONS = ("crash", "hang", "delay", "error", "torn", "enospc",
+                 "drop", "corrupt")
+
+#: actions the generic probe executes itself (raise / sleep); the rest are
+#: *cooperative* — the probe site reads the action and misbehaves in kind
+_GENERIC_ACTIONS = ("crash", "hang", "delay", "error")
+
+#: default action per point when a rule leaves ``action`` unset
+DEFAULT_ACTIONS = {
+    "worker-crash": "crash",
+    "hung-stage": "hang",
+    "slow-stage": "delay",
+    "stage-error": "error",
+    "torn-write": "torn",
+    "disk-full": "enospc",
+    "conn-drop": "drop",
+    "queue-stall": "delay",
+    "row-corrupt": "corrupt",
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic injection rule: point + action + rate + scope.
+
+    ``rate`` is the deterministic firing fraction: the rule fires at a
+    probe iff ``hash01(seed, point, key) < rate`` (so 1.0 always fires,
+    0.0 never).  ``key`` names the context field used as the hash key;
+    when unset the probe picks the first stable identity it carries
+    (``job_id``, ``item``, ``seed``) and falls back to a per-point
+    occurrence counter.  ``match`` restricts the rule to probes whose
+    context matches every given key exactly (e.g. ``{"stage":
+    "transform"}``).  ``delay_s`` is the sleep for ``delay`` and the
+    bounded hang for ``hang``; ``max_fires`` caps total firings.
+    """
+
+    point: str
+    action: Optional[str] = None
+    rate: float = 1.0
+    key: Optional[str] = None
+    match: Mapping[str, Any] = field(default_factory=dict)
+    delay_s: Optional[float] = None
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ConfigurationError(
+                f"unknown fault point {self.point!r}; known: "
+                f"{', '.join(sorted(FAULT_POINTS))}"
+            )
+        action = self.action or DEFAULT_ACTIONS[self.point]
+        if action not in FAULT_ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {action!r}; known: "
+                f"{', '.join(FAULT_ACTIONS)}"
+            )
+        object.__setattr__(self, "action", action)
+        if not (0.0 <= self.rate <= 1.0):
+            raise ConfigurationError(
+                f"rate must be within [0, 1], got {self.rate!r}"
+            )
+        if self.delay_s is not None and self.delay_s < 0:
+            raise ConfigurationError(
+                f"delay_s must be non-negative, got {self.delay_s!r}"
+            )
+        if self.max_fires is not None and (
+            not isinstance(self.max_fires, int) or self.max_fires < 0
+        ):
+            raise ConfigurationError(
+                f"max_fires must be a non-negative int, got {self.max_fires!r}"
+            )
+        object.__setattr__(self, "match", dict(self.match))
+
+    def matches(self, context: Mapping[str, Any]) -> bool:
+        """Whether this rule applies to a probe with ``context``."""
+        return all(context.get(k) == v for k, v in self.match.items())
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "point": self.point,
+            "action": self.action,
+            "rate": self.rate,
+        }
+        if self.key is not None:
+            payload["key"] = self.key
+        if self.match:
+            payload["match"] = dict(self.match)
+        if self.delay_s is not None:
+            payload["delay_s"] = self.delay_s
+        if self.max_fires is not None:
+            payload["max_fires"] = self.max_fires
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultRule":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown FaultRule keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault rules — the whole injection schedule."""
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise ConfigurationError(
+                f"seed must be an int, got {self.seed!r}"
+            )
+        rules = tuple(self.rules)
+        for rule in rules:
+            if not isinstance(rule, FaultRule):
+                raise ConfigurationError(
+                    f"rules must hold FaultRule entries, got {rule!r}"
+                )
+        object.__setattr__(self, "rules", rules)
+
+    def rules_for(self, point: str) -> Tuple[FaultRule, ...]:
+        return tuple(rule for rule in self.rules if rule.point == point)
+
+    @property
+    def points(self) -> Tuple[str, ...]:
+        return tuple(sorted({rule.point for rule in self.rules}))
+
+    def hash01(self, point: str, key: str) -> float:
+        """Uniform [0, 1) hash of (seed, point, key) — the deterministic
+        coin: a rule fires iff this value is below its rate.  A pure
+        function, so the same plan makes the same decisions in any
+        process, on any run."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{point}:{key}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown FaultPlan keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        payload = dict(data)
+        payload["rules"] = tuple(
+            FaultRule.from_dict(rule) for rule in payload.get("rules", ())
+        )
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"fault plan is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ConfigurationError("fault plan JSON must be an object")
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read fault plan {path}: {exc}")
+        return cls.from_json(text)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")

@@ -106,6 +106,7 @@ class PreprocessingPipeline:
             raise PipelineError("max_sparse_length must be positive")
         self.spec = spec
         self.hash_seed = hash_seed
+        self.generator_seed = generator_seed
         self.max_sparse_length = max_sparse_length
         self.dense_clamp = dense_clamp
         self.schema = spec.schema()

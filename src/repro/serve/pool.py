@@ -15,7 +15,14 @@ owns three responsibilities the batch executor never needed:
 * **graceful drain** — :meth:`drain` closes the queue and waits until every
   queued and in-flight job has reached a terminal report; :meth:`stop`
   instead cancels the queued tail explicitly and waits only for in-flight
-  work.  Either way no job vanishes silently.
+  work.  Either way no job vanishes silently;
+* **hung-job defense** — with ``job_timeout_s`` set, a watchdog thread
+  checks every in-flight job against its deadline.  A job that blows it is
+  reported failed with :class:`~repro.errors.JobTimeoutError`, its worker
+  is *abandoned* (Python threads cannot be killed: the thread is dropped
+  from the crew, self-checks on its next safe point, and exits quietly)
+  and a fresh worker replaces it immediately — so a wedged stage never
+  starves the queue and ``alive_workers`` stays at ``num_workers``.
 
 The pool is deliberately thread- (not process-) based: jobs themselves are
 numpy-heavy and the per-job data plane can still fan out across processes,
@@ -30,7 +37,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import QueueClosedError, ServeError
+from repro.errors import JobTimeoutError, QueueClosedError, ServeError
+from repro.faults.injector import fault_point
 from repro.serve.queue import BoundedJobQueue
 
 #: runner(item, attempt) -> result; raising Exception triggers a retry
@@ -54,6 +62,9 @@ class WorkerPool:
         on_worker_death: Optional[
             Callable[[str, Any, BaseException], None]
         ] = None,
+        job_timeout_s: Optional[float] = None,
+        watchdog_interval_s: float = 0.05,
+        on_timeout: Optional[Callable[[str, Any, float], None]] = None,
     ) -> None:
         if not isinstance(num_workers, int) or num_workers <= 0:
             raise ServeError(
@@ -65,6 +76,15 @@ class WorkerPool:
             )
         if backoff_s < 0 or backoff_factor <= 0:
             raise ServeError("backoff_s must be >= 0 and backoff_factor > 0")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise ServeError(
+                f"job_timeout_s must be positive, got {job_timeout_s!r}"
+            )
+        if watchdog_interval_s <= 0:
+            raise ServeError(
+                f"watchdog_interval_s must be positive, "
+                f"got {watchdog_interval_s!r}"
+            )
         self.queue = queue
         self.num_workers = num_workers
         self.max_retries = max_retries
@@ -77,24 +97,40 @@ class WorkerPool:
         self._on_worker_death = on_worker_death or (
             lambda worker, item, error: None
         )
+        self.job_timeout_s = job_timeout_s
+        self.watchdog_interval_s = watchdog_interval_s
+        self._on_timeout = on_timeout or (lambda worker, item, elapsed: None)
         self._lock = threading.Lock()
         self._threads: Dict[str, threading.Thread] = {}
+        #: worker name -> (item, monotonic start of the current attempt run)
         self._inflight: Dict[str, Any] = {}
+        #: workers the watchdog gave up on; they self-check and exit quietly
+        self._abandoned: set = set()
         self._names = itertools.count()
         self._stopping = False
         self._started = False
         self._replaced = 0
+        self._timeouts = 0
+        self._watchdog: Optional[threading.Thread] = None
+        self._watchdog_stop = threading.Event()
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn the initial crew (idempotent)."""
+        """Spawn the initial crew and, if deadlined, the watchdog."""
         with self._lock:
             if self._started:
                 return
             self._started = True
             for _ in range(self.num_workers):
                 self._spawn_locked()
+            if self.job_timeout_s is not None:
+                self._watchdog = threading.Thread(
+                    target=self._watchdog_main,
+                    name="serve-watchdog",
+                    daemon=True,
+                )
+                self._watchdog.start()
 
     def _spawn_locked(self) -> None:
         name = f"serve-worker-{next(self._names)}"
@@ -110,14 +146,21 @@ class WorkerPool:
         with self._lock:
             return self._replaced
 
+    @property
+    def jobs_timed_out(self) -> int:
+        """How many in-flight jobs the watchdog has failed so far."""
+        with self._lock:
+            return self._timeouts
+
     def alive_workers(self) -> int:
+        """Live crew members — abandoned (hung) workers don't count."""
         with self._lock:
             return sum(1 for t in self._threads.values() if t.is_alive())
 
     def inflight(self) -> Dict[str, Any]:
         """worker name -> item currently being executed."""
         with self._lock:
-            return dict(self._inflight)
+            return {name: item for name, (item, _) in self._inflight.items()}
 
     # -- worker body ---------------------------------------------------------
 
@@ -131,16 +174,23 @@ class WorkerPool:
                     return
                 current = item
                 with self._lock:
-                    self._inflight[name] = item
+                    self._inflight[name] = (item, time.monotonic())
+                # fault point: the worker dies right after pickup (the
+                # crashed-process stand-in); lands in the except below
+                fault_point("worker-crash", worker=name, item=item)
                 try:
-                    self._run_one(item)
+                    self._run_one(name, item)
                 finally:
                     with self._lock:
                         self._inflight.pop(name, None)
+                if self._is_abandoned(name):
+                    return  # the watchdog replaced us; exit quietly
                 current = None
         except BaseException as death:  # worker crash: report + replace
             with self._lock:
                 self._inflight.pop(name, None)
+            if self._is_abandoned(name):
+                return  # already reported + replaced by the watchdog
             self._on_worker_death(name, current, death)
             if current is not None:
                 self._on_done(current, None, death)
@@ -149,14 +199,25 @@ class WorkerPool:
                     self._replaced += 1
                     self._spawn_locked()
 
-    def _run_one(self, item: Any) -> None:
-        """Run one job to a terminal report, retrying transient failures."""
+    def _is_abandoned(self, name: str) -> bool:
+        with self._lock:
+            return name in self._abandoned
+
+    def _run_one(self, name: str, item: Any) -> None:
+        """Run one job to a terminal report, retrying transient failures.
+
+        An abandoned worker stops reporting: the watchdog already issued
+        the terminal :class:`JobTimeoutError` report for this item, so a
+        late success or failure from the stuck thread must go nowhere.
+        """
         attempt = 0
         while True:
             attempt += 1
             try:
                 result = self._runner(item, attempt)
             except Exception as error:
+                if self._is_abandoned(name):
+                    return
                 if attempt > self.max_retries:
                     self._on_done(item, None, error)
                     return
@@ -164,9 +225,52 @@ class WorkerPool:
                 self._on_retry(item, attempt, error, delay)
                 if delay > 0:
                     self._sleep(delay)
+                if self._is_abandoned(name):
+                    return
                 continue
+            if self._is_abandoned(name):
+                return
             self._on_done(item, result, None)
             return
+
+    # -- watchdog ------------------------------------------------------------
+
+    def _watchdog_main(self) -> None:
+        while not self._watchdog_stop.wait(self.watchdog_interval_s):
+            self._check_deadlines()
+
+    def _check_deadlines(self) -> None:
+        """Fail every in-flight job past its deadline; replace its worker."""
+        assert self.job_timeout_s is not None
+        now = time.monotonic()
+        expired = []
+        with self._lock:
+            for name, (item, started) in list(self._inflight.items()):
+                elapsed = now - started
+                if elapsed < self.job_timeout_s:
+                    continue
+                # abandon: drop the stuck thread from the crew (it will
+                # self-check and exit), replace it, and report outside the
+                # lock — the on_done callback may take the service's lock
+                self._inflight.pop(name)
+                self._abandoned.add(name)
+                self._threads.pop(name, None)
+                self._timeouts += 1
+                if not self._stopping:
+                    self._replaced += 1
+                    self._spawn_locked()
+                expired.append((name, item, elapsed))
+        for name, item, elapsed in expired:
+            self._on_timeout(name, item, elapsed)
+            self._on_done(
+                item,
+                None,
+                JobTimeoutError(
+                    f"job exceeded its {self.job_timeout_s:.1f}s deadline "
+                    f"({elapsed:.1f}s elapsed); worker {name} abandoned "
+                    f"and replaced"
+                ),
+            )
 
     # -- shutdown ------------------------------------------------------------
 
@@ -181,6 +285,7 @@ class WorkerPool:
         done = self._join(timeout)
         with self._lock:
             self._stopping = True
+        self._halt_watchdog()
         return done
 
     def stop(self, timeout: Optional[float] = None) -> List[Any]:
@@ -194,7 +299,14 @@ class WorkerPool:
         self._join(timeout)
         with self._lock:
             self._stopping = True
+        self._halt_watchdog()
         return cancelled
+
+    def _halt_watchdog(self) -> None:
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5.0)
+            self._watchdog = None
 
     def _join(self, timeout: Optional[float]) -> bool:
         deadline = None if timeout is None else time.monotonic() + timeout

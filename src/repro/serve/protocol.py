@@ -36,6 +36,7 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro import errors
 from repro.errors import ProtocolError, ReproError, ServeError
+from repro.faults.injector import fault_point
 from repro.serve.records import JobRecord
 from repro.serve.service import PreprocessService
 
@@ -84,6 +85,14 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
 
     def _send(self, payload: Dict[str, Any]) -> bool:
+        # fault point: the connection dies mid-reply — the client sees EOF
+        # (or a half line) instead of an answer; service state is unaffected
+        if fault_point("conn-drop") is not None:
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            return False
         try:
             self.wfile.write((json.dumps(payload) + "\n").encode("utf-8"))
             self.wfile.flush()
@@ -227,9 +236,16 @@ class ServiceServer:
             return
         payload = {"host": self.host, "port": self.port, "pid": os.getpid(),
                    "version": PROTOCOL_VERSION}
-        with open(self.endpoint_path, "w") as handle:
+        # atomic publish: a client racing the daemon's startup (or a crash
+        # mid-write) must see either no endpoint or a complete one — never
+        # a half-written JSON object
+        tmp = f"{self.endpoint_path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.endpoint_path)
 
     def _remove_endpoint(self) -> None:
         if self.endpoint_path is not None:
@@ -239,8 +255,15 @@ class ServiceServer:
                 pass
 
 
-def read_endpoint(spool_dir: str) -> Dict[str, Any]:
-    """Read a daemon's ``endpoint.json`` from its spool directory."""
+def read_endpoint(spool_dir: str, check_alive: bool = True) -> Dict[str, Any]:
+    """Read a daemon's ``endpoint.json`` from its spool directory.
+
+    A SIGKILLed daemon never removes its endpoint file, so by default the
+    recorded pid is checked: if that process no longer exists the endpoint
+    is *stale* and a clear "daemon died" error is raised instead of letting
+    the caller time out against a dead port (pass ``check_alive=False`` to
+    read the payload regardless, e.g. for diagnostics).
+    """
     path = os.path.join(spool_dir, ENDPOINT_FILENAME)
     try:
         with open(path) as handle:
@@ -254,7 +277,28 @@ def read_endpoint(spool_dir: str) -> Dict[str, Any]:
         raise ServeError(f"corrupt endpoint file {path}: {exc}")
     if "host" not in payload or "port" not in payload:
         raise ServeError(f"endpoint file {path} lacks host/port")
+    pid = payload.get("pid")
+    if check_alive and isinstance(pid, int):
+        if not _pid_alive(pid):
+            raise ServeError(
+                f"stale endpoint {path}: daemon pid {pid} died without "
+                "cleaning up — restart `repro serve` on this spool to "
+                "recover its interrupted jobs"
+            )
     return payload
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal 0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # can't tell: don't invent staleness
+    return True
 
 
 class ServiceClient:

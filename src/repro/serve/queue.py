@@ -20,6 +20,7 @@ from collections import deque
 from typing import Callable, List, Optional, TypeVar
 
 from repro.errors import QueueClosedError, QueueFullError, ServeError
+from repro.faults.injector import fault_point
 
 T = TypeVar("T")
 
@@ -74,6 +75,9 @@ class BoundedJobQueue:
         timeout means wait indefinitely) and :class:`QueueClosedError` once
         the queue has been closed.
         """
+        # fault point: producer-side turbulence — a delayed put, outside
+        # the lock so injected stalls never block consumers
+        fault_point("queue-stall", item=item)
         with self._not_full:
             if self._closed:
                 raise QueueClosedError("queue is closed to new work")
@@ -95,6 +99,25 @@ class BoundedJobQueue:
                     raise QueueClosedError("queue closed while waiting")
             self._items.append(item)
             self._not_empty.notify()
+
+    def restore(self, items: List[T]) -> int:
+        """Re-enqueue recovered jobs, bypassing the capacity bound.
+
+        The crash-recovery path: a restarted service may find more
+        interrupted jobs in its index than the queue's capacity, and
+        blocking here before the pool starts would deadlock the daemon.
+        Capacity bounds *new* submissions; recovered work is owed.  Items
+        land ahead of nothing (the queue is empty at recovery time) in the
+        given order.  Returns how many were enqueued.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosedError("queue is closed to new work")
+            for item in items:
+                self._items.append(item)
+            if items:
+                self._not_empty.notify_all()
+            return len(items)
 
     # -- consumer side -------------------------------------------------------
 

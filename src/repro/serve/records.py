@@ -28,9 +28,14 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.api.preprocess import PreprocessJob
 from repro.errors import ReproError, ServeError
+from repro.faults.injector import fault_point
 
-#: every state a job can be in; the last three are terminal
-JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
+#: every state a job can be in; the last three are terminal.  "interrupted"
+#: marks a job a dead daemon left queued/running — a restarted service
+#: re-enqueues it, so it is explicitly non-terminal.
+JOB_STATES = (
+    "queued", "running", "interrupted", "completed", "failed", "cancelled"
+)
 TERMINAL_STATES = ("completed", "failed", "cancelled")
 
 #: every status a pipeline stage event can carry
@@ -152,6 +157,19 @@ class JobRecord:
             self, state="cancelled", completed_at=at, error=reason
         )
 
+    def mark_interrupted(self, at: float) -> "JobRecord":
+        """A daemon died while this job was queued or running.
+
+        Interrupted is *not* terminal: recovery re-enqueues the job, and
+        ``mark_running`` on the re-enqueued record keeps the original
+        ``submitted_at``/``attempts`` history.
+        """
+        return dataclasses.replace(
+            self,
+            state="interrupted",
+            error=f"daemon exited at {at:.3f} with this job in flight",
+        )
+
     def with_stage(self, event: StageEvent) -> "JobRecord":
         """Append one stage telemetry event."""
         return dataclasses.replace(self, stages=self.stages + (event,))
@@ -212,28 +230,103 @@ class JobLogIndex:
     ingestion-log-index convention).  A torn final line — a daemon killed
     mid-append — is tolerated; corruption anywhere else is a loud
     :class:`~repro.errors.ServeError`, never a silent skip.
+
+    ``fsync=True`` makes every append durable (flush + ``os.fsync``) —
+    the daemon path turns this on so a completed job's digest survives a
+    host crash; the default stays off for tests and throwaway spools.
+
+    A failed append (torn write, disk full) is *healed* on the next
+    successful one: the index remembers the pre-write size and truncates
+    back to it before writing, so a half-line never becomes loud interior
+    corruption once more lines land after it.
+
+    The index also self-bounds: every transition appends a line, so a
+    long-lived daemon's index grows without limit unless compacted.
+    :meth:`maybe_compact` rewrites the file down to the latest record per
+    job once the line count exceeds ``compact_ratio`` times the distinct
+    job count (and ``compact_min_lines``, so small spools never churn).
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = False,
+        compact_min_lines: int = 512,
+        compact_ratio: float = 8.0,
+    ) -> None:
+        if compact_min_lines < 1:
+            raise ServeError(
+                f"compact_min_lines must be >= 1, got {compact_min_lines!r}"
+            )
+        if compact_ratio < 1.0:
+            raise ServeError(
+                f"compact_ratio must be >= 1.0, got {compact_ratio!r}"
+            )
         self.path = path
+        self.fsync = bool(fsync)
+        self.compact_min_lines = compact_min_lines
+        self.compact_ratio = compact_ratio
+        self.compactions = 0
         self._lock = threading.Lock()
+        self._lines = self._count_lines()  # lines on disk (approximate floor)
+        self._jobs: set = set()  # distinct job_ids appended this process
+        self._heal_to: Optional[int] = None  # truncate target after torn write
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
 
+    def _count_lines(self) -> int:
+        try:
+            with open(self.path, "rb") as handle:
+                return sum(1 for _ in handle)
+        except OSError:
+            return 0
+
     def append(self, record: JobRecord) -> None:
-        """Durably append one transition (thread-safe)."""
+        """Durably append one transition (thread-safe).
+
+        With ``fsync`` on, the line is flushed and fsynced before this
+        returns; otherwise durability is left to the OS page cache.
+        """
         line = json.dumps(record.to_dict(), sort_keys=True)
         with self._lock:
+            # probes: disk-full raises ENOSPC before any byte lands;
+            # torn-write is cooperative — enacted below, mid-line
+            fault_point("disk-full", job_id=record.job_id)
+            torn = fault_point("torn-write", job_id=record.job_id)
+            size = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+            if self._heal_to is not None and self._heal_to < size:
+                with open(self.path, "r+") as handle:
+                    handle.truncate(self._heal_to)
+                size = self._heal_to
+            self._heal_to = None
             with open(self.path, "a") as handle:
+                if torn is not None and torn.action == "torn":
+                    handle.write(line[: max(1, len(line) // 2)])
+                    handle.flush()
+                    self._heal_to = size
+                    from repro.errors import FaultError
+
+                    raise FaultError(
+                        f"injected fault: index append torn mid-line for "
+                        f"{record.job_id}"
+                    )
                 handle.write(line + "\n")
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            self._lines += 1
+            self._jobs.add(record.job_id)
 
     def load(self) -> List[JobRecord]:
         """Latest record per job, most recently completed first."""
+        with self._lock:
+            return self._load_locked()
+
+    def _load_locked(self) -> List[JobRecord]:
         if not os.path.exists(self.path):
             return []
-        with self._lock:
-            with open(self.path) as handle:
-                lines = handle.readlines()
+        with open(self.path) as handle:
+            lines = handle.readlines()
         latest: Dict[str, JobRecord] = {}
         for number, line in enumerate(lines, start=1):
             text = line.strip()
@@ -250,3 +343,46 @@ class JobLogIndex:
                 )
             latest[record.job_id] = record
         return sorted(latest.values(), key=_completion_key, reverse=True)
+
+    # -- compaction ----------------------------------------------------------
+
+    def should_compact(self) -> bool:
+        """Whether the line count warrants a rewrite (cheap, in-memory)."""
+        jobs = max(1, len(self._jobs))
+        return self._lines >= max(
+            self.compact_min_lines, int(self.compact_ratio * jobs)
+        )
+
+    def maybe_compact(self) -> bool:
+        """Compact if :meth:`should_compact`; returns whether it ran."""
+        with self._lock:
+            if not self.should_compact():
+                return False
+            self._compact_locked()
+            return True
+
+    def compact(self) -> int:
+        """Rewrite the index down to one line per job; returns lines kept.
+
+        Atomic: the compacted index is written to a temp file in the same
+        directory, fsynced, and ``os.replace``d over the original — a
+        crash mid-compaction leaves the old index intact.
+        """
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        records = self._load_locked()
+        records.sort(key=_completion_key)  # oldest first, append order
+        tmp = f"{self.path}.compact.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._lines = len(records)
+        self._jobs = {record.job_id for record in records}
+        self._heal_to = None  # a rewrite heals any remembered torn tail
+        self.compactions += 1
+        return len(records)

@@ -27,13 +27,15 @@ from __future__ import annotations
 
 import itertools
 import os
+import re
 import threading
 import time
 import traceback
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.api.preprocess import PreprocessJob, minibatch_digest
-from repro.errors import JobNotFoundError, ServeError
+from repro.errors import JobNotFoundError, ReproError, ServeError
+from repro.faults.injector import fault_stage
 from repro.features.synthetic import SyntheticTableGenerator
 from repro.serve.pool import WorkerPool
 from repro.serve.queue import BoundedJobQueue
@@ -67,9 +69,13 @@ class PreprocessService:
         runner: Optional[ServiceRunner] = None,
         clock: Callable[[], float] = time.time,
         sleep: Callable[[float], None] = time.sleep,
+        job_timeout_s: Optional[float] = None,
+        index_fsync: bool = False,
+        recover: bool = True,
     ) -> None:
         self.spool_dir = spool_dir
         self.submit_timeout = submit_timeout
+        self.job_timeout_s = job_timeout_s
         self._clock = clock
         self._runner = runner or _default_runner
         self.queue: BoundedJobQueue = BoundedJobQueue(
@@ -86,6 +92,8 @@ class PreprocessService:
             on_done=self._on_done,
             on_retry=self._on_retry,
             on_worker_death=self._on_worker_death,
+            job_timeout_s=job_timeout_s,
+            on_timeout=self._on_timeout,
         )
         self.watcher = SourceWatcher(
             submit=self.submit_job,
@@ -95,7 +103,10 @@ class PreprocessService:
         self.index: Optional[JobLogIndex] = None
         if spool_dir is not None:
             os.makedirs(spool_dir, exist_ok=True)
-            self.index = JobLogIndex(os.path.join(spool_dir, "jobs.jsonl"))
+            self.index = JobLogIndex(
+                os.path.join(spool_dir, "jobs.jsonl"), fsync=index_fsync
+            )
+        self._recover_on_start = recover
         self._records: Dict[str, JobRecord] = {}
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
@@ -104,15 +115,30 @@ class PreprocessService:
         self._stopped = False
         #: worker-death audit trail: (worker name, job_id, error)
         self.worker_deaths: List[tuple] = []
+        #: watchdog audit trail: (worker name, job_id, elapsed seconds)
+        self.job_timeouts: List[tuple] = []
+        #: index-append failures the service survived: (job_id, state, error)
+        self.index_errors: List[tuple] = []
+        #: job ids recovery re-enqueued on the last start()
+        self.recovered_jobs: List[str] = []
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "PreprocessService":
-        """Start the worker pool and the source watcher (idempotent)."""
+        """Recover the spool, then start the pool and watcher (idempotent).
+
+        Recovery runs *before* any worker exists: the index is replayed,
+        jobs a dead daemon left queued/running are marked ``interrupted``
+        and re-enqueued (capacity-bypassing, so a backlog larger than the
+        queue can never deadlock startup), and the job-id counter is seeded
+        past every recovered id so new submissions never collide.
+        """
         if self._stopped:
             raise ServeError("service cannot restart after stop()")
         if not self._started:
             self._started = True
+            if self._recover_on_start:
+                self._recover()
             self.pool.start()
             self.watcher.start()
         return self
@@ -137,6 +163,41 @@ class PreprocessService:
                         self._clock(), reason="service shutdown"
                     ),
                 )
+
+    def _recover(self) -> None:
+        """Replay the job index and re-own everything a dead daemon left.
+
+        Terminal records come back as read-only history (status/jobs keep
+        answering for them); non-terminal records — a previous daemon died
+        with them queued or running — are marked ``interrupted``, persisted
+        as such, and re-enqueued in job-id order.  Re-running a job that
+        actually finished but whose completion line never hit the disk is
+        safe: the data plane is deterministic, so the re-run produces the
+        byte-identical digest the lost line would have recorded.
+        """
+        if self.index is None:
+            return
+        records = self.index.load()  # loud on interior corruption
+        max_id = 0
+        requeue: List[JobRecord] = []
+        now = self._clock()
+        with self._changed:
+            for record in records:
+                match = re.fullmatch(r"job-(\d+)", record.job_id)
+                if match:
+                    max_id = max(max_id, int(match.group(1)))
+                if record.is_terminal:
+                    self._records[record.job_id] = record
+                    continue
+                interrupted = record.mark_interrupted(now)
+                self._records[record.job_id] = interrupted
+                self._persist(interrupted)
+                requeue.append(interrupted)
+            self._ids = itertools.count(max_id + 1)
+            self._changed.notify_all()
+        requeue.sort(key=lambda record: record.job_id)
+        self.recovered_jobs = [record.job_id for record in requeue]
+        self.queue.restore(self.recovered_jobs)
 
     def __enter__(self) -> "PreprocessService":
         return self.start()
@@ -275,9 +336,12 @@ class PreprocessService:
                 return
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a *queued* job; running/terminal jobs are not cancellable."""
+        """Cancel a queued (or recovered-but-not-restarted) job.
+
+        Running and terminal jobs are not cancellable.
+        """
         record = self.status(job_id)  # raises JobNotFoundError when unknown
-        if record.state != "queued":
+        if record.state not in ("queued", "interrupted"):
             return False
         removed = self.queue.cancel(lambda item: item == job_id)
         if not removed:  # a worker grabbed it between status and cancel
@@ -384,6 +448,30 @@ class PreprocessService:
     ) -> None:
         self.worker_deaths.append((worker, job_id, repr(error)))
 
+    def _on_timeout(self, worker: str, job_id, elapsed: float) -> None:
+        """Watchdog verdict: record the blown deadline as a stage event.
+
+        The pool reports the terminal :class:`JobTimeoutError` through
+        ``_on_done`` right after this, so the record reads: deadline stage
+        failed, then job failed.
+        """
+        self.job_timeouts.append((worker, job_id, elapsed))
+        self._transition(
+            job_id,
+            lambda rec: rec.with_stage(
+                StageEvent(
+                    stage="deadline",
+                    status="failed",
+                    at=self._clock(),
+                    elapsed_s=elapsed,
+                    error=(
+                        f"exceeded the {self.job_timeout_s}s job deadline; "
+                        f"worker {worker} abandoned and replaced"
+                    ),
+                )
+            ),
+        )
+
     # -- record bookkeeping --------------------------------------------------
 
     def _transition(
@@ -402,8 +490,27 @@ class PreprocessService:
         return record
 
     def _persist(self, record: JobRecord) -> None:
-        if self.index is not None:
+        """Mirror one transition into the index; survive spool faults.
+
+        The in-memory record stays authoritative: a torn or failed append
+        (disk full, injected fault) is audited in ``index_errors`` and the
+        service keeps running.  Worst case after a crash the lost line
+        means an already-finished job is replayed — idempotent, because the
+        data plane is deterministic.  Terminal appends also give the index
+        a chance to compact itself (bounded growth for long-lived daemons).
+        """
+        if self.index is None:
+            return
+        try:
             self.index.append(record)
+        except (ReproError, OSError) as exc:
+            self.index_errors.append((record.job_id, record.state, repr(exc)))
+            return
+        if record.is_terminal:
+            try:
+                self.index.maybe_compact()
+            except (ReproError, OSError) as exc:
+                self.index_errors.append((record.job_id, "compact", repr(exc)))
 
 
 def _with_stages(record: JobRecord, events) -> JobRecord:
@@ -419,6 +526,7 @@ def _default_runner(job: PreprocessJob, record_stage: StageRecorder) -> str:
     digest-identical to ``PreprocessJob.run(parallel=False)`` — both drive
     the same partition -> write -> read -> transform code.
     """
+    fault_stage("generate", seed=job.seed)
     record_stage("generate", "started", {})
     start = time.perf_counter()
     generator = SyntheticTableGenerator(job.spec(), seed=job.seed)

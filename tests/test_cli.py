@@ -249,3 +249,41 @@ class TestServeCli:
         assert not daemon.is_alive()
         assert not endpoint.exists()
         assert (tmp_path / "spool" / "jobs.jsonl").exists()
+
+
+class TestChaos:
+    def test_chaos_json_deterministic(self, capsys):
+        import json as json_mod
+
+        argv = [
+            "chaos", "--seed", "7", "--jobs", "3", "--rows", "128",
+            "--shards", "2", "--timeout", "2", "--faults", "worker-crash",
+            "--json",
+        ]
+        assert main(argv) == 0
+        first = json_mod.loads(capsys.readouterr().out)
+        assert first["ok"] is True
+        assert first["faults"] == ["worker-crash"]
+        assert len(first["episodes"]) == 1
+        episode = first["episodes"][0]
+        assert episode["jobs"] >= 3
+        assert not episode["violations"]
+        assert "elapsed_s" not in episode  # deterministic view only
+
+        assert main(argv) == 0
+        second = json_mod.loads(capsys.readouterr().out)
+        assert second == first
+
+    def test_chaos_table_output(self, capsys):
+        assert main(
+            ["chaos", "--seed", "3", "--jobs", "2", "--rows", "128",
+             "--timeout", "2", "--faults", "torn-write"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Chaos matrix (seed 3)" in out
+        assert "torn-write" in out
+        assert "all invariants held" in out
+
+    def test_chaos_rejects_unknown_fault(self):
+        with pytest.raises(SystemExit, match="unknown fault class"):
+            main(["chaos", "--faults", "bogus"])

@@ -169,3 +169,117 @@ class TestServiceFailureInjection:
         events = {(e.stage, e.status) for e in final.stages}
         assert ("extract", "failed") in events
         assert ("transform", "skipped") in events
+
+
+class TestSigkillRecovery:
+    """The full crash-safety story, out of process: a daemon SIGKILLed with
+    a job in flight leaves a stale endpoint and a non-terminal index line;
+    a restart on the same spool must re-own and finish that job with the
+    serial path's exact digest."""
+
+    JOB_ROWS, JOB_SHARDS, JOB_SEED = 512, 2, 5
+
+    def _spawn_daemon(self, spool, *extra):
+        import os
+        import subprocess
+        import sys
+
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--spool", spool,
+             "--workers", "1", *extra],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def _wait_for_daemon(self, spool, timeout=30.0):
+        import time
+
+        from repro.serve import ServiceClient
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                client = ServiceClient(spool_dir=spool)
+                if client.ping():
+                    return client
+            except (ReproError, OSError):
+                time.sleep(0.1)
+        raise AssertionError(f"daemon on {spool} never came up")
+
+    def test_sigkilled_daemon_recovers_on_restart(self, tmp_path):
+        import json
+        import os
+        import signal
+        import time
+
+        from repro.errors import ServeError
+        from repro.serve import ServiceClient, read_endpoint
+
+        spool = str(tmp_path / "spool")
+        plan_path = str(tmp_path / "plan.json")
+        with open(plan_path, "w") as handle:
+            json.dump(
+                {"seed": 0,
+                 "rules": [{"point": "hung-stage", "rate": 1.0,
+                            "delay_s": 120.0}]},
+                handle,
+            )
+        # first daemon: every stage hangs, so the submitted job is
+        # guaranteed to still be running when SIGKILL lands
+        daemon = self._spawn_daemon(spool, "--faults", plan_path)
+        try:
+            client = self._wait_for_daemon(spool)
+            job = PreprocessJob(
+                model="RM1", num_rows=self.JOB_ROWS,
+                num_shards=self.JOB_SHARDS, seed=self.JOB_SEED,
+            )
+            record = client.submit(job)
+            deadline = time.monotonic() + 30.0
+            while client.status(record.job_id).state != "running":
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.05)
+            os.kill(daemon.pid, signal.SIGKILL)
+            daemon.wait(timeout=30.0)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30.0)
+
+        # satellite: the endpoint is now stale and says so, clearly
+        with pytest.raises(ServeError, match="stale endpoint"):
+            read_endpoint(spool)
+        with pytest.raises(ServeError, match="stale endpoint"):
+            ServiceClient(spool_dir=spool)
+
+        # second daemon, same spool, no faults: recovery must finish the job
+        daemon = self._spawn_daemon(spool)
+        try:
+            client = self._wait_for_daemon(spool)
+            deadline = time.monotonic() + 60.0
+            while True:
+                final = client.status(record.job_id)
+                if final.is_terminal:
+                    break
+                assert time.monotonic() < deadline, (
+                    f"recovered job stuck {final.state}"
+                )
+                time.sleep(0.1)
+            assert final.state == "completed"
+            job = PreprocessJob(
+                model="RM1", num_rows=self.JOB_ROWS,
+                num_shards=self.JOB_SHARDS, seed=self.JOB_SEED,
+            )
+            assert final.digest == job.run(parallel=False).digest
+            assert final.attempts >= 2  # the lost attempt stayed on record
+            client.shutdown(drain=True)
+            daemon.wait(timeout=60.0)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30.0)

@@ -1,0 +1,595 @@
+"""Tests for the deterministic fault-injection harness: plans, the
+injector, every probe site's behavior, index durability/healing/compaction,
+the watchdog, crash recovery, and the chaos matrix — all in-process."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.api import PreprocessJob
+from repro.dataio.rowformat import RowFileReader, RowFileWriter
+from repro.dataio.schema import TableSchema
+from repro.errors import (
+    ConfigurationError,
+    FaultError,
+    FormatError,
+    JobTimeoutError,
+    ServeError,
+)
+from repro.faults import (
+    FAULT_POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    active_injector,
+    fault_point,
+    fault_stage,
+    install,
+    installed,
+    uninstall,
+)
+from repro.faults.chaos import (
+    check_report,
+    deterministic_view,
+    plan_for,
+    run_chaos,
+    run_episode,
+)
+from repro.serve import (
+    BoundedJobQueue,
+    JobLogIndex,
+    JobRecord,
+    PreprocessService,
+    WorkerPool,
+)
+
+JOB = PreprocessJob(model="RM1", num_rows=256, num_shards=1)
+
+
+def fast_runner(job, record_stage):
+    record_stage("generate", "started", {})
+    record_stage("generate", "completed", {"elapsed_s": 0.0, "rows": job.num_rows})
+    return f"digest-{job.seed}"
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    """Every test starts and ends with probes disabled."""
+    uninstall()
+    yield
+    uninstall()
+
+
+# ---------------------------------------------------------------------------
+# plans and rules
+# ---------------------------------------------------------------------------
+
+
+class TestFaultRule:
+    def test_default_action_per_point(self):
+        assert FaultRule("worker-crash").action == "crash"
+        assert FaultRule("torn-write").action == "torn"
+        assert FaultRule("disk-full").action == "enospc"
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault point"):
+            FaultRule("no-such-point")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault action"):
+            FaultRule("worker-crash", action="explode")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            FaultRule("worker-crash", rate=1.5)
+        with pytest.raises(ConfigurationError, match="rate"):
+            FaultRule("worker-crash", rate=-0.1)
+
+    def test_dict_round_trip(self):
+        rule = FaultRule(
+            "hung-stage", rate=0.5, key="job_id",
+            match={"stage": "transform"}, delay_s=1.0, max_fires=3,
+        )
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown FaultRule keys"):
+            FaultRule.from_dict({"point": "worker-crash", "bogus": 1})
+
+    def test_match_filter(self):
+        rule = FaultRule("hung-stage", match={"stage": "transform"})
+        assert rule.matches({"stage": "transform", "seed": 1})
+        assert not rule.matches({"stage": "extract"})
+        assert not rule.matches({})
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            seed=11,
+            rules=(FaultRule("worker-crash", rate=0.25),
+                   FaultRule("torn-write", key="job_id")),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_hash01_is_pure_and_uniform_ish(self):
+        plan = FaultPlan(seed=3)
+        values = [plan.hash01("worker-crash", f"job-{i}") for i in range(200)]
+        assert values == [
+            plan.hash01("worker-crash", f"job-{i}") for i in range(200)
+        ]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 40 < sum(v < 0.5 for v in values) < 160
+
+    def test_seed_changes_decisions(self):
+        a = FaultPlan(seed=1)
+        b = FaultPlan(seed=2)
+        assert [a.hash01("conn-drop", str(i)) for i in range(8)] != [
+            b.hash01("conn-drop", str(i)) for i in range(8)
+        ]
+
+    def test_catalog_covers_default_actions(self):
+        from repro.faults import DEFAULT_ACTIONS
+
+        assert set(DEFAULT_ACTIONS) == set(FAULT_POINTS)
+
+
+# ---------------------------------------------------------------------------
+# the injector and the probes
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_probes_are_noops_when_disabled(self):
+        assert active_injector() is None
+        assert fault_point("worker-crash", item="job-000001") is None
+        fault_stage("transform", seed=1)  # must not raise
+
+    def test_installed_scoping(self):
+        injector = FaultInjector(FaultPlan(seed=0))
+        with installed(injector) as active:
+            assert active_injector() is active
+        assert active_injector() is None
+
+    def test_install_uninstall(self):
+        injector = install(FaultInjector(FaultPlan(seed=0)))
+        assert active_injector() is injector
+        uninstall()
+        assert active_injector() is None
+
+    def test_error_action_raises_fault_error(self):
+        plan = FaultPlan(seed=0, rules=(FaultRule("stage-error", rate=1.0),))
+        with installed(FaultInjector(plan)):
+            with pytest.raises(FaultError, match="injected fault"):
+                fault_stage("transform", seed=1)
+
+    def test_crash_action_raises_system_exit(self):
+        plan = FaultPlan(seed=0, rules=(FaultRule("worker-crash", rate=1.0),))
+        with installed(FaultInjector(plan)):
+            with pytest.raises(SystemExit):
+                fault_point("worker-crash", item="job-000001")
+
+    def test_enospc_action_raises_oserror(self):
+        import errno
+
+        plan = FaultPlan(seed=0, rules=(FaultRule("disk-full", rate=1.0),))
+        with installed(FaultInjector(plan)):
+            with pytest.raises(OSError) as excinfo:
+                fault_point("disk-full", job_id="job-000001")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_cooperative_action_returned_not_executed(self):
+        plan = FaultPlan(seed=0, rules=(FaultRule("torn-write", rate=1.0),))
+        with installed(FaultInjector(plan)):
+            rule = fault_point("torn-write", job_id="job-000001")
+        assert rule is not None and rule.action == "torn"
+
+    def test_rate_keyed_firing_is_deterministic(self):
+        plan = FaultPlan(seed=5, rules=(FaultRule("worker-crash", rate=0.5),))
+
+        def fired_jobs():
+            injector = FaultInjector(plan)
+            hit = []
+            with installed(injector):
+                for i in range(20):
+                    try:
+                        fault_point("worker-crash", item=f"job-{i:06d}")
+                    except SystemExit:
+                        hit.append(i)
+            return hit
+
+        first = fired_jobs()
+        assert first == fired_jobs()
+        assert 0 < len(first) < 20  # rate 0.5 fires some, not all
+
+    def test_max_fires_caps_firing(self):
+        plan = FaultPlan(
+            seed=0,
+            rules=(FaultRule("stage-error", rate=1.0, max_fires=2),),
+        )
+        injector = FaultInjector(plan)
+        with installed(injector):
+            for _ in range(2):
+                with pytest.raises(FaultError):
+                    fault_point("stage-error", seed=_)
+            assert fault_point("stage-error", seed=99) is None
+        assert injector.fire_counts() == {"stage-error:error": 2}
+
+    def test_match_restricts_stage(self):
+        plan = FaultPlan(
+            seed=0,
+            rules=(FaultRule("stage-error", rate=1.0,
+                             match={"stage": "transform"}),),
+        )
+        with installed(FaultInjector(plan)):
+            fault_stage("extract", seed=1)  # no match, no fire
+            with pytest.raises(FaultError):
+                fault_stage("transform", seed=1)
+
+    def test_hang_released_by_uninstall(self):
+        plan = FaultPlan(
+            seed=0, rules=(FaultRule("hung-stage", rate=1.0, delay_s=30.0),)
+        )
+        injector = install(FaultInjector(plan))
+        released = threading.Event()
+
+        def hangs():
+            fault_stage("transform", seed=1)
+            released.set()
+
+        thread = threading.Thread(target=hangs, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not released.is_set()
+        uninstall()  # releases the injected hang
+        assert released.wait(timeout=5.0)
+        assert injector.fire_counts() == {"hung-stage:hang": 1}
+
+    def test_fired_audit_trail(self):
+        plan = FaultPlan(seed=0, rules=(FaultRule("queue-stall", rate=1.0,
+                                                  delay_s=0.0),))
+        injector = FaultInjector(plan)
+        with installed(injector):
+            fault_point("queue-stall", item="job-000001")
+        assert injector.fired() == [
+            {"point": "queue-stall", "action": "delay", "key": "job-000001"}
+        ]
+
+
+# ---------------------------------------------------------------------------
+# index durability, healing, compaction
+# ---------------------------------------------------------------------------
+
+
+class TestIndexDurability:
+    def _record(self, n=1, state="queued"):
+        record = JobRecord(job_id=f"job-{n:06d}", job=JOB, submitted_at=1.0)
+        if state == "completed":
+            record = record.mark_completed(2.0, "digest")
+        return record
+
+    def test_fsync_append_round_trips(self, tmp_path):
+        index = JobLogIndex(str(tmp_path / "jobs.jsonl"), fsync=True)
+        index.append(self._record(1))
+        index.append(self._record(1, "completed"))
+        [loaded] = index.load()
+        assert loaded.state == "completed"
+
+    def test_torn_write_heals_on_next_append(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        index = JobLogIndex(path)
+        index.append(self._record(1))
+        plan = FaultPlan(seed=0, rules=(FaultRule("torn-write", rate=1.0),))
+        with installed(FaultInjector(plan)):
+            with pytest.raises(FaultError, match="torn"):
+                index.append(self._record(2))
+        # the torn half-line is on disk but load() tolerates a torn tail
+        with open(path) as handle:
+            assert not handle.read().endswith("\n")
+        assert [r.job_id for r in index.load()] == ["job-000001"]
+        # the next (clean) append truncates the torn tail first
+        index.append(self._record(3))
+        loaded = {r.job_id for r in index.load()}
+        assert loaded == {"job-000001", "job-000003"}
+        with open(path) as handle:
+            lines = handle.readlines()
+        assert all(line.endswith("\n") for line in lines)
+        assert len(lines) == 2
+
+    def test_disk_full_append_raises_before_writing(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        index = JobLogIndex(path)
+        plan = FaultPlan(seed=0, rules=(FaultRule("disk-full", rate=1.0),))
+        with installed(FaultInjector(plan)):
+            with pytest.raises(OSError):
+                index.append(self._record(1))
+        assert not os.path.exists(path)
+
+    def test_compact_keeps_latest_record_per_job(self, tmp_path):
+        index = JobLogIndex(str(tmp_path / "jobs.jsonl"))
+        for n in (1, 2, 3):
+            record = self._record(n)
+            index.append(record)
+            index.append(record.mark_running(2.0))
+            index.append(record.mark_running(2.0).mark_completed(3.0, f"d{n}"))
+        kept = index.compact()
+        assert kept == 3
+        assert index.compactions == 1
+        with open(index.path) as handle:
+            assert len(handle.readlines()) == 3
+        loaded = {r.job_id: r for r in index.load()}
+        assert loaded["job-000002"].digest == "d2"
+
+    def test_maybe_compact_thresholds(self, tmp_path):
+        index = JobLogIndex(
+            str(tmp_path / "jobs.jsonl"),
+            compact_min_lines=4, compact_ratio=2.0,
+        )
+        record = self._record(1)
+        index.append(record)
+        assert not index.maybe_compact()  # 1 line < max(4, 2*1)
+        for _ in range(5):
+            index.append(record.mark_running(2.0))
+        assert index.maybe_compact()  # 6 lines >= max(4, 2)
+        with open(index.path) as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_knob_validation(self, tmp_path):
+        with pytest.raises(ServeError):
+            JobLogIndex(str(tmp_path / "i"), compact_min_lines=0)
+        with pytest.raises(ServeError):
+            JobLogIndex(str(tmp_path / "i"), compact_ratio=0.5)
+
+
+# ---------------------------------------------------------------------------
+# service resilience: spool faults, watchdog, recovery
+# ---------------------------------------------------------------------------
+
+
+class TestServiceFaults:
+    def test_service_survives_torn_index_writes(self, tmp_path):
+        plan = FaultPlan(seed=0, rules=(FaultRule("torn-write", rate=1.0),))
+        with installed(FaultInjector(plan)):
+            with PreprocessService(
+                spool_dir=str(tmp_path), num_workers=1, runner=fast_runner
+            ) as service:
+                record = service.submit(JOB)
+                final = service.wait(record.job_id, timeout=30.0)
+        assert final.state == "completed"
+        assert final.digest == "digest-0"
+        assert service.index_errors  # every append was torn, all audited
+
+    def test_watchdog_fails_hung_job_and_replaces_worker(self, tmp_path):
+        plan = FaultPlan(
+            seed=0, rules=(FaultRule("hung-stage", rate=1.0, delay_s=60.0,
+                                     key="seed", match={"seed": 1}),)
+        )
+        with installed(FaultInjector(plan)):
+            with PreprocessService(
+                spool_dir=str(tmp_path),
+                num_workers=2,
+                job_timeout_s=0.3,
+                backoff_s=0.01,
+            ) as service:
+                hung = service.submit(
+                    PreprocessJob(model="RM1", num_rows=128, seed=1)
+                )
+                fine = service.submit(
+                    PreprocessJob(model="RM1", num_rows=128, seed=2)
+                )
+                hung_final = service.wait(hung.job_id, timeout=30.0)
+                fine_final = service.wait(fine.job_id, timeout=30.0)
+                deadline = time.monotonic() + 5.0
+                while (service.pool.alive_workers() != 2
+                       and time.monotonic() < deadline):
+                    time.sleep(0.02)
+                assert service.pool.alive_workers() == 2
+        assert hung_final.state == "failed"
+        assert "deadline" in hung_final.error
+        assert any(e.stage == "deadline" for e in hung_final.stages)
+        assert fine_final.state == "completed"
+        assert service.pool.jobs_timed_out == 1
+        assert service.pool.workers_replaced >= 1
+
+    def test_pool_rejects_bad_timeout(self):
+        queue = BoundedJobQueue()
+        with pytest.raises(ServeError):
+            WorkerPool(queue, lambda i, a: i, job_timeout_s=0)
+
+    def test_timeout_error_is_typed(self):
+        assert issubclass(JobTimeoutError, ServeError)
+
+    def test_recovery_marks_and_requeues_interrupted(self, tmp_path):
+        index = JobLogIndex(str(tmp_path / "jobs.jsonl"))
+        queued = JobRecord(job_id="job-000001", job=JOB, submitted_at=1.0)
+        index.append(queued)
+        index.append(
+            JobRecord(job_id="job-000002", job=JOB, submitted_at=1.0)
+            .mark_running(2.0)
+        )
+        index.append(
+            JobRecord(job_id="job-000003", job=JOB, submitted_at=1.0)
+            .mark_completed(3.0, "done-digest")
+        )
+        service = PreprocessService(
+            spool_dir=str(tmp_path), num_workers=1, runner=fast_runner
+        )
+        service.start()
+        assert service.recovered_jobs == ["job-000001", "job-000002"]
+        for job_id in service.recovered_jobs:
+            assert service.wait(job_id, timeout=30.0).state == "completed"
+        # terminal history is visible but untouched
+        assert service.status("job-000003").digest == "done-digest"
+        # new ids never collide with recovered ones
+        record = service.submit(JOB)
+        assert record.job_id == "job-000004"
+        service.wait(record.job_id, timeout=30.0)
+        service.stop(drain=True)
+
+    def test_recovery_backlog_exceeding_queue_capacity(self, tmp_path):
+        index = JobLogIndex(str(tmp_path / "jobs.jsonl"))
+        for n in range(1, 9):
+            index.append(
+                JobRecord(job_id=f"job-{n:06d}", job=JOB, submitted_at=1.0)
+            )
+        service = PreprocessService(
+            spool_dir=str(tmp_path),
+            queue_capacity=2,  # backlog of 8 must not deadlock startup
+            num_workers=2,
+            runner=fast_runner,
+        )
+        service.start()
+        assert len(service.recovered_jobs) == 8
+        for job_id in service.recovered_jobs:
+            assert service.wait(job_id, timeout=30.0).state == "completed"
+        service.stop(drain=True)
+
+    def test_recovery_can_be_disabled(self, tmp_path):
+        index = JobLogIndex(str(tmp_path / "jobs.jsonl"))
+        index.append(JobRecord(job_id="job-000001", job=JOB, submitted_at=1.0))
+        service = PreprocessService(
+            spool_dir=str(tmp_path), runner=fast_runner, recover=False
+        )
+        service.start()
+        assert service.recovered_jobs == []
+        assert service.jobs() == []
+        service.stop(drain=True)
+
+    def test_interrupted_job_is_cancellable(self, tmp_path):
+        index = JobLogIndex(str(tmp_path / "jobs.jsonl"))
+        index.append(JobRecord(job_id="job-000001", job=JOB, submitted_at=1.0))
+        slow = threading.Event()
+
+        def gated_runner(job, record_stage):
+            slow.wait(10.0)
+            return "digest"
+
+        service = PreprocessService(
+            spool_dir=str(tmp_path), num_workers=1, runner=gated_runner
+        )
+        # cancel before start(): the record is interrupted, still queued
+        service._recover_on_start = True
+        service.start()
+        # the single worker may have grabbed it already; cancel is then a no-op
+        outcome = service.cancel("job-000001")
+        slow.set()
+        final = service.wait("job-000001", timeout=30.0)
+        assert final.state in ("cancelled", "completed")
+        assert outcome == (final.state == "cancelled")
+        service.stop(drain=True)
+
+
+# ---------------------------------------------------------------------------
+# remaining probe sites
+# ---------------------------------------------------------------------------
+
+
+class TestProbeSites:
+    def test_queue_stall_delays_put(self):
+        plan = FaultPlan(
+            seed=0, rules=(FaultRule("queue-stall", rate=1.0, delay_s=0.2),)
+        )
+        queue = BoundedJobQueue(capacity=4)
+        with installed(FaultInjector(plan)):
+            start = time.perf_counter()
+            queue.put("job-000001")
+            assert time.perf_counter() - start >= 0.15
+        assert queue.get() == "job-000001"
+
+    def test_row_corrupt_is_caught_loudly(self):
+        import numpy as np
+
+        schema = TableSchema.with_counts(1, 1)
+        data = {
+            "label": np.array([1, 0], dtype=np.int8),
+            schema.dense_names[0]: np.array([1.0, 2.0], dtype=np.float32),
+            schema.sparse_names[0]: (
+                np.array([1, 1], dtype=np.int32),
+                np.array([7, 8], dtype=np.int64),
+            ),
+        }
+        writer = RowFileWriter(schema)
+        clean = writer.write(data)
+        plan = FaultPlan(seed=0, rules=(FaultRule("row-corrupt", rate=1.0),))
+        with installed(FaultInjector(plan)):
+            corrupt = writer.write(data)
+        assert corrupt != clean
+        RowFileReader(clean)  # clean bytes parse fine
+        with pytest.raises(FormatError):
+            RowFileReader(corrupt)
+
+    def test_conn_drop_surfaces_as_protocol_error(self, tmp_path):
+        from repro.errors import ProtocolError
+        from repro.serve import ServiceClient, ServiceServer
+
+        plan = FaultPlan(
+            seed=0, rules=(FaultRule("conn-drop", rate=1.0, max_fires=1),)
+        )
+        with installed(FaultInjector(plan)):
+            service = PreprocessService(
+                spool_dir=str(tmp_path), num_workers=1, runner=fast_runner
+            )
+            with ServiceServer(service) as server:
+                client = ServiceClient(host=server.host, port=server.port)
+                with pytest.raises(ProtocolError):
+                    client.ping()  # first reply dropped
+                assert client.ping()  # max_fires exhausted; daemon intact
+
+
+# ---------------------------------------------------------------------------
+# the chaos matrix
+# ---------------------------------------------------------------------------
+
+
+class TestChaos:
+    def test_plan_for_rejects_unknown_fault(self):
+        with pytest.raises(ConfigurationError, match="unknown fault class"):
+            plan_for("meteor-strike", seed=0, job_timeout_s=1.0)
+
+    def test_single_episode_invariants(self, tmp_path):
+        report = run_episode(
+            "worker-crash",
+            seed=7,
+            spool_dir=str(tmp_path / "ep"),
+            num_jobs=4,
+            rows=128,
+            job_timeout_s=5.0,
+            runner=fast_runner,
+            verify_serial=False,
+        )
+        assert report["violations"] == []
+        assert report["jobs"] == 4
+        assert sum(report["states"].values()) == 4
+
+    def test_matrix_is_deterministic_per_seed(self):
+        kwargs = dict(
+            num_jobs=4, rows=128, job_timeout_s=2.0,
+            runner=fast_runner, verify_serial=False,
+        )
+        first = deterministic_view(
+            run_chaos(("worker-crash", "torn-write"), seed=7, **kwargs)
+        )
+        second = deterministic_view(
+            run_chaos(("worker-crash", "torn-write"), seed=7, **kwargs)
+        )
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+        assert first["ok"]
+
+    def test_check_report_raises_on_violations(self):
+        from repro.errors import ChaosError
+
+        report = {
+            "episodes": [
+                {"fault": "torn-write", "violations": ["digest mismatch"]}
+            ]
+        }
+        with pytest.raises(ChaosError, match="digest mismatch"):
+            check_report(report)
