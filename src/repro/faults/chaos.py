@@ -142,7 +142,16 @@ def run_episode(
                 )
                 for k in range(num_jobs)
             ]
-            _submit_all(client, jobs)
+            acked = _submit_all(client, jobs)
+            if acked < len(jobs) and len(service.jobs()) < len(jobs):
+                # fewer service-side records than requested jobs means at
+                # least one submission truly vanished (not just a dropped
+                # ack) — the invariants below would silently gate over a
+                # smaller workload, so record it as a violation
+                violations.append(
+                    f"lost submissions: {acked}/{len(jobs)} acked, "
+                    f"{len(service.jobs())} jobs recorded service-side"
+                )
             # wait on the service's own ledger: a dropped submit reply can
             # leave a job the client never heard about
             deadline = time.monotonic() + wait_timeout

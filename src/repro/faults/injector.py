@@ -46,6 +46,7 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._fires: Dict[Tuple[str, str], int] = {}  # (point, action) -> n
+        self._rule_fires: Dict[int, int] = {}  # id(rule) -> n, for max_fires
         self._fired: List[Dict[str, Any]] = []
         #: set to release every injected hang early (uninstall sets it)
         self._release = threading.Event()
@@ -101,12 +102,15 @@ class FaultInjector:
             if self.plan.hash01(point, key) >= rule.rate:
                 continue
             with self._lock:
+                # max_fires caps THIS rule's firings: two rules on one
+                # point each get their own budget (keyed by rule identity —
+                # the plan's rule objects are stable for the process)
                 if rule.max_fires is not None:
-                    total = sum(
-                        n for (p, _), n in self._fires.items() if p == point
-                    )
-                    if total >= rule.max_fires:
+                    if self._rule_fires.get(id(rule), 0) >= rule.max_fires:
                         continue
+                self._rule_fires[id(rule)] = (
+                    self._rule_fires.get(id(rule), 0) + 1
+                )
                 pair = (point, rule.action)
                 self._fires[pair] = self._fires.get(pair, 0) + 1
                 self._fired.append(

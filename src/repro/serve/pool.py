@@ -178,21 +178,20 @@ class WorkerPool:
                 # fault point: the worker dies right after pickup (the
                 # crashed-process stand-in); lands in the except below
                 fault_point("worker-crash", worker=name, item=item)
-                try:
-                    self._run_one(name, item)
-                finally:
-                    with self._lock:
-                        self._inflight.pop(name, None)
+                # _run_one clears the in-flight entry on every return: a
+                # terminal report claims it, and abandonment means the
+                # watchdog already took it.  If _run_one raises instead,
+                # the entry survives for the except below to claim.
+                self._run_one(name, item)
                 if self._is_abandoned(name):
                     return  # the watchdog replaced us; exit quietly
                 current = None
         except BaseException as death:  # worker crash: report + replace
-            with self._lock:
-                self._inflight.pop(name, None)
-            if self._is_abandoned(name):
-                return  # already reported + replaced by the watchdog
+            claimed = self._claim_report(name)
+            if not claimed and self._is_abandoned(name):
+                return  # the watchdog already reported + replaced us
             self._on_worker_death(name, current, death)
-            if current is not None:
+            if claimed and current is not None:
                 self._on_done(current, None, death)
             with self._lock:
                 if not self._stopping:
@@ -203,12 +202,27 @@ class WorkerPool:
         with self._lock:
             return name in self._abandoned
 
+    def _claim_report(self, name: str) -> bool:
+        """Atomically claim the right to issue the terminal report.
+
+        The claim token is this worker's in-flight entry: exactly one of
+        the worker (here) and the watchdog (popping the entry when it
+        abandons the worker in :meth:`_check_deadlines`) can take it, so a
+        job finishing in the same instant its deadline expires still gets
+        exactly one terminal ``on_done`` report.
+        """
+        with self._lock:
+            if name in self._abandoned:
+                return False
+            return self._inflight.pop(name, None) is not None
+
     def _run_one(self, name: str, item: Any) -> None:
         """Run one job to a terminal report, retrying transient failures.
 
-        An abandoned worker stops reporting: the watchdog already issued
-        the terminal :class:`JobTimeoutError` report for this item, so a
-        late success or failure from the stuck thread must go nowhere.
+        Every terminal report is gated on :meth:`_claim_report`: once the
+        watchdog has abandoned this worker and issued the job's terminal
+        :class:`JobTimeoutError` report, a late success or failure from
+        the stuck thread must go nowhere.
         """
         attempt = 0
         while True:
@@ -216,10 +230,11 @@ class WorkerPool:
             try:
                 result = self._runner(item, attempt)
             except Exception as error:
-                if self._is_abandoned(name):
-                    return
                 if attempt > self.max_retries:
-                    self._on_done(item, None, error)
+                    if self._claim_report(name):
+                        self._on_done(item, None, error)
+                    return
+                if self._is_abandoned(name):
                     return
                 delay = self.backoff_s * self.backoff_factor ** (attempt - 1)
                 self._on_retry(item, attempt, error, delay)
@@ -228,9 +243,8 @@ class WorkerPool:
                 if self._is_abandoned(name):
                     return
                 continue
-            if self._is_abandoned(name):
-                return
-            self._on_done(item, result, None)
+            if self._claim_report(name):
+                self._on_done(item, result, None)
             return
 
     # -- watchdog ------------------------------------------------------------

@@ -270,7 +270,10 @@ class JobLogIndex:
         self._lock = threading.Lock()
         self._lines = self._count_lines()  # lines on disk (approximate floor)
         self._jobs: set = set()  # distinct job_ids appended this process
-        self._heal_to: Optional[int] = None  # truncate target after torn write
+        # truncate target after a torn write; seeded from disk so a torn
+        # final line a killed daemon left behind is healed before this
+        # process's first append instead of growing interior corruption
+        self._heal_to: Optional[int] = self._detect_torn_tail()
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
 
@@ -280,6 +283,17 @@ class JobLogIndex:
                 return sum(1 for _ in handle)
         except OSError:
             return 0
+
+    def _detect_torn_tail(self) -> Optional[int]:
+        """Offset just past the last complete line, or ``None`` if clean."""
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        if not data or data.endswith(b"\n"):
+            return None
+        return data.rfind(b"\n") + 1  # 0 when the whole file is one half-line
 
     def append(self, record: JobRecord) -> None:
         """Durably append one transition (thread-safe).

@@ -195,7 +195,14 @@ class PreprocessService:
                 requeue.append(interrupted)
             self._ids = itertools.count(max_id + 1)
             self._changed.notify_all()
-        requeue.sort(key=lambda record: record.job_id)
+        # numeric order, not lexicographic: "job-10" must follow "job-2"
+        def _submission_order(record: JobRecord):
+            match = re.fullmatch(r"job-(\d+)", record.job_id)
+            if match:
+                return (0, int(match.group(1)), record.job_id)
+            return (1, 0, record.job_id)
+
+        requeue.sort(key=_submission_order)
         self.recovered_jobs = [record.job_id for record in requeue]
         self.queue.restore(self.recovered_jobs)
 

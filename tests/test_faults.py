@@ -221,6 +221,28 @@ class TestFaultInjector:
             assert fault_point("stage-error", seed=99) is None
         assert injector.fire_counts() == {"stage-error:error": 2}
 
+    def test_max_fires_is_per_rule(self):
+        # two rules on one point each get their own max_fires budget:
+        # the first rule's fires must not consume the second's cap
+        plan = FaultPlan(
+            seed=0,
+            rules=(
+                FaultRule("stage-error", action="delay", rate=1.0,
+                          delay_s=0.0, max_fires=1),
+                FaultRule("stage-error", action="error", rate=1.0,
+                          max_fires=1),
+            ),
+        )
+        injector = FaultInjector(plan)
+        with installed(injector):
+            fault_point("stage-error", seed=1)  # rule 1: delay, no raise
+            with pytest.raises(FaultError):
+                fault_point("stage-error", seed=2)  # rule 2's own budget
+            assert fault_point("stage-error", seed=3) is None  # both spent
+        assert injector.fire_counts() == {
+            "stage-error:delay": 1, "stage-error:error": 1,
+        }
+
     def test_match_restricts_stage(self):
         plan = FaultPlan(
             seed=0,
@@ -301,6 +323,34 @@ class TestIndexDurability:
             lines = handle.readlines()
         assert all(line.endswith("\n") for line in lines)
         assert len(lines) == 2
+
+    def test_torn_tail_healed_across_restart(self, tmp_path):
+        # a daemon SIGKILL'd mid-append leaves a newline-less half-line; a
+        # fresh index on the same path (the restarted daemon) must truncate
+        # it before its first append, never concatenate onto it
+        path = str(tmp_path / "jobs.jsonl")
+        index = JobLogIndex(path)
+        index.append(self._record(1))
+        with open(path, "a") as handle:
+            handle.write('{"job_id": "job-0000')  # torn: no newline
+        restarted = JobLogIndex(path)
+        restarted.append(self._record(2))
+        loaded = {r.job_id for r in restarted.load()}
+        assert loaded == {"job-000001", "job-000002"}
+        with open(path) as handle:
+            lines = handle.readlines()
+        assert len(lines) == 2
+        assert all(line.endswith("\n") for line in lines)
+
+    def test_whole_file_torn_healed_across_restart(self, tmp_path):
+        # the degenerate case: the very first append was torn, so the
+        # whole file is one half-line — heal truncates back to empty
+        path = str(tmp_path / "jobs.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"job_id"')
+        restarted = JobLogIndex(path)
+        restarted.append(self._record(1))
+        assert [r.job_id for r in restarted.load()] == ["job-000001"]
 
     def test_disk_full_append_raises_before_writing(self, tmp_path):
         path = str(tmp_path / "jobs.jsonl")
@@ -449,6 +499,58 @@ class TestServiceFaults:
         for job_id in service.recovered_jobs:
             assert service.wait(job_id, timeout=30.0).state == "completed"
         service.stop(drain=True)
+
+    def test_recovery_requeues_in_numeric_order(self, tmp_path):
+        # job-10 must follow job-2: submission order, not lexicographic
+        index = JobLogIndex(str(tmp_path / "jobs.jsonl"))
+        for n in (10, 2, 11, 1):
+            index.append(
+                JobRecord(job_id=f"job-{n}", job=JOB, submitted_at=float(n))
+            )
+        service = PreprocessService(
+            spool_dir=str(tmp_path), num_workers=1, runner=fast_runner
+        )
+        service.start()
+        assert service.recovered_jobs == ["job-1", "job-2", "job-10", "job-11"]
+        for job_id in service.recovered_jobs:
+            assert service.wait(job_id, timeout=30.0).state == "completed"
+        service.stop(drain=True)
+
+    def test_late_success_after_timeout_reports_once(self):
+        # a worker finishing after the watchdog abandoned it must not
+        # issue a second terminal report: the claim token goes to exactly
+        # one of them (here the watchdog's JobTimeoutError wins)
+        queue = BoundedJobQueue(capacity=4)
+        release = threading.Event()
+        reports = []
+
+        def runner(item, attempt):
+            release.wait(10.0)
+            return "late-result"
+
+        pool = WorkerPool(
+            queue,
+            runner,
+            num_workers=1,
+            max_retries=0,
+            job_timeout_s=0.1,
+            watchdog_interval_s=0.02,
+            on_done=lambda item, result, error: reports.append(
+                (item, result, error)
+            ),
+        )
+        pool.start()
+        queue.put("job-000001")
+        deadline = time.monotonic() + 10.0
+        while not reports and time.monotonic() < deadline:
+            time.sleep(0.01)
+        release.set()  # the stuck worker now finishes — and goes nowhere
+        time.sleep(0.2)
+        assert len(reports) == 1
+        item, result, error = reports[0]
+        assert item == "job-000001" and result is None
+        assert isinstance(error, JobTimeoutError)
+        pool.stop(timeout=10.0)
 
     def test_recovery_can_be_disabled(self, tmp_path):
         index = JobLogIndex(str(tmp_path / "jobs.jsonl"))
