@@ -7,8 +7,9 @@ Five pieces:
 * :class:`Scenario` — one frozen, validated, dict-round-trippable record
   describing model x system x deployment; ``.run()`` simulates the full
   pipeline and returns a uniform :class:`RunResult`;
-* :class:`Sweep` — a grid of scenarios executed serially or across a
-  ``multiprocessing`` pool with deterministic result ordering;
+* :class:`Sweep` — a grid of scenarios executed serially or through the
+  fault-tolerant batch tier (:class:`BatchRunner`) with deterministic
+  result ordering, per-task retries/timeouts, and journaled resume;
 * :class:`PreprocessJob` — the data-plane scenario: one declarative
   sharded preprocessing run through :class:`repro.exec.ShardExecutor`,
   with a content digest proving parallel == serial output;
@@ -54,6 +55,14 @@ from repro.api.preprocess import (
 from repro.api.result import RunResult
 from repro.api.scenario import PROVISION_MODES, Scenario, calibration_overrides
 from repro.api.sweep import Sweep
+from repro.batch import (
+    FAILURE_MODES,
+    OUTCOME_STATES,
+    BatchJournal,
+    BatchOutcome,
+    BatchPolicy,
+    BatchRunner,
+)
 
 # the serve-layer job/record types and source plugins are part of the API
 # surface, but repro.serve builds on the modules above (its records hold
@@ -106,6 +115,12 @@ __all__ = [
     "PreprocessJob",
     "PreprocessRunResult",
     "minibatch_digest",
+    "BatchJournal",
+    "BatchOutcome",
+    "BatchPolicy",
+    "BatchRunner",
+    "FAILURE_MODES",
+    "OUTCOME_STATES",
     "JobLogIndex",
     "JobRecord",
     "StageEvent",

@@ -24,8 +24,10 @@ registry treatment :mod:`repro.api.registry` gave the *systems*:
   params digest, calibration digest) so repeated ``report``/``export``
   invocations replay stored results (``force=True`` bypasses);
 * :func:`run_experiments` — the :class:`~repro.api.sweep.Sweep`-style
-  ``multiprocessing`` fan-out with deterministic, serial-identical result
-  ordering.
+  fault-tolerant fan-out (via :class:`~repro.batch.runner.BatchRunner`)
+  with deterministic, serial-identical result ordering, per-task
+  retries/timeouts, journaled resume, and completed-result caching even
+  when a later task fails.
 
 Quick start::
 
@@ -50,7 +52,6 @@ import hashlib
 import importlib
 import inspect
 import json
-import multiprocessing
 import os
 import tempfile
 import typing
@@ -141,6 +142,12 @@ def decode_value(hint: Any, value: Any) -> Any:
         if hint is int:
             return int(value)
         if hint is float:
+            # encode is identity on numbers, so a float-annotated field
+            # that held an int round-trips as that int — coercing here
+            # would turn a replayed 368 into 368.0 and break the replayed
+            # == fresh byte-identity guarantee
+            if isinstance(value, int) and not isinstance(value, bool):
+                return value
             return float(value)
         if hint is str:
             return str(value)
@@ -742,7 +749,10 @@ class RunStore:
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps(payload, sort_keys=True, indent=1))
+                # No sort_keys: result dicts must round-trip in insertion
+                # order so replayed results reduce (sum over dict values,
+                # etc.) byte-identically to freshly computed ones.
+                handle.write(json.dumps(payload, indent=1))
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -796,53 +806,83 @@ def run_experiments(
     processes: Optional[int] = None,
     store: Optional[RunStore] = None,
     force: bool = False,
-) -> List[ExperimentResult]:
+    *,
+    policy: Optional["BatchPolicy"] = None,
+    failure_mode: Optional[str] = None,
+    journal: Optional["BatchJournal"] = None,
+    resume: bool = False,
+) -> Union[List[ExperimentResult], List["BatchOutcome"]]:
     """Execute ``runs``; results come back in input order either way.
 
     With a ``store``, cached results are replayed (unless ``force``) and
-    fresh ones are saved.  Only the cache misses fan out across the
-    ``multiprocessing`` pool, and ``pool.map`` preserves input order, so a
-    parallel run is indistinguishable from a serial one except for
-    wall-clock time.
+    fresh ones are saved.  Execution goes through the fault-tolerant
+    :class:`~repro.batch.runner.BatchRunner`: every completed task is
+    cached *as it finishes*, so a later task failing in ``strict`` mode
+    (typed :class:`~repro.errors.BatchTaskError`) no longer discards the
+    results already computed.  ``failure_mode="degrade"`` returns one
+    :class:`~repro.batch.outcomes.BatchOutcome` per run (``result`` holds
+    the :class:`ExperimentResult` when ok) so callers can render partial
+    reports.  With a ``journal``, ``resume=True`` replays completed runs
+    from it and re-executes the rest; ``processes`` must be positive and
+    is always clamped to the pending-task count.
     """
+    from repro.batch import BatchRunner
+    from repro.batch.policy import merge_policy
+
     runs = list(runs)
     for run in runs:
         if not isinstance(run, ExperimentRun):
             raise ConfigurationError(
                 f"run_experiments takes ExperimentRun records, got {run!r}"
             )
-    results: List[Optional[ExperimentResult]] = [None] * len(runs)
-    pending: List[Tuple[int, ExperimentRun]] = []
+    batch_policy = merge_policy(policy, processes, failure_mode)
+    precomputed: Dict[int, ExperimentResult] = {}
     for index, run in enumerate(runs):
         cached = store.load(run) if (store is not None and not force) else None
         if cached is not None:
-            results[index] = cached
-        else:
-            pending.append((index, run))
+            precomputed[index] = cached
 
-    if pending:
-        todo = [run for _, run in pending]
-        workers = (
-            min(len(todo), processes or os.cpu_count() or 2) if parallel else 1
-        )
-        if parallel and workers > 1 and len(todo) > 1:
-            tasks = [(run, run.spec.module) for run in todo]
-            with multiprocessing.Pool(processes=workers) as pool:
-                fresh = pool.map(_execute_run, tasks)
-        else:
-            fresh = [run.run() for run in todo]
-        for (index, run), result in zip(pending, fresh):
-            results[index] = result
-            if store is not None:
-                try:
-                    store.save(run, result)
-                except (ReproError, OSError) as exc:
-                    # caching is best-effort: an unwritable cache must not
-                    # discard results that were already computed
-                    warnings.warn(
-                        f"could not cache {run.label}: {exc}",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
+    def _save_fresh(outcome: "BatchOutcome") -> None:
+        # attempts == 0 marks a result replayed from the cache itself —
+        # only freshly executed tasks are (re)saved, each as it lands,
+        # even when a later task fails the batch in strict mode
+        if store is None or not outcome.ok or outcome.attempts == 0:
+            return
+        run = runs[outcome.index]
+        try:
+            store.save(run, outcome.result)
+        except (ReproError, OSError) as exc:
+            # caching is best-effort: an unwritable cache must not
+            # discard results that were already computed
+            warnings.warn(
+                f"could not cache {run.label}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
-    return results  # type: ignore[return-value]
+    runner = BatchRunner(
+        _execute_run,
+        policy=batch_policy,
+        journal=journal,
+        task_key=lambda index, task: task[0].digest,
+        task_label=lambda index, task: task[0].label,
+        encode_result=lambda index, result: result.to_dict(),
+        decode_result=lambda index, payload: (
+            EXPERIMENT_REGISTRY.get(runs[index].experiment)
+            .result_type.from_dict(payload)
+        ),
+        on_outcome=_save_fresh,
+    )
+    tasks = [(run, run.spec.module) for run in runs]
+    misses = len(runs) - len(precomputed)
+    fan_out = (
+        parallel
+        and misses > 1
+        and batch_policy.worker_count(misses) > 1
+    )
+    outcomes = runner.run(
+        tasks, parallel=fan_out, resume=resume, precomputed=precomputed
+    )
+    if batch_policy.failure_mode == "degrade":
+        return outcomes
+    return [outcome.result for outcome in outcomes]

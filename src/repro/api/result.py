@@ -9,7 +9,9 @@ compared without knowing which system produced them.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Dict, TYPE_CHECKING
+from typing import Any, Dict, Mapping, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.scenario import Scenario
@@ -50,6 +52,26 @@ class RunResult:
                 value.to_dict() if spec_field.name == "scenario" else value
             )
         return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (strict keys).
+
+        The round trip is exact — sweep journals rely on it to replay a
+        completed scenario's result byte-identically on resume.
+        """
+        from repro.api.scenario import Scenario
+
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RunResult keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        payload = dict(data)
+        payload["scenario"] = Scenario.from_dict(payload["scenario"])
+        return cls(**payload)
 
     def summary(self) -> str:
         """One human-readable line for logs and CLI output."""

@@ -1,19 +1,29 @@
 """Parallel scenario sweeps with deterministic result ordering.
 
 A :class:`Sweep` is an ordered collection of :class:`~repro.api.scenario.Scenario`
-records.  :meth:`Sweep.run` executes them across a ``multiprocessing`` pool
-(scenarios are frozen, picklable, and side-effect free, so fan-out is safe)
-and always returns results in scenario order — a parallel run is
-indistinguishable from a serial one except for wall-clock time.
+records.  :meth:`Sweep.run` executes them through the fault-tolerant
+:class:`~repro.batch.runner.BatchRunner` (scenarios are frozen, picklable,
+and side-effect free, so fan-out is safe) and always returns results in
+scenario order — a parallel run is indistinguishable from a serial one
+except for wall-clock time.  A worker death, a raising scenario, or a
+stuck task becomes a per-scenario outcome instead of a pool-wide crash:
+``failure_mode="degrade"`` returns :class:`~repro.batch.outcomes.\
+BatchOutcome` records for every scenario, and attaching a
+:class:`~repro.batch.journal.BatchJournal` makes the sweep resumable
+(``resume=True`` skips scenarios the journal already completed).
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-import multiprocessing
-import os
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+import json
+from typing import (
+    Iterable, Iterator, List, Optional, Sequence, Tuple, Union,
+)
 
+from repro.batch import BatchJournal, BatchOutcome, BatchPolicy, BatchRunner
+from repro.batch.policy import merge_policy
 from repro.errors import ConfigurationError
 from repro.api.result import RunResult
 from repro.api.scenario import Scenario
@@ -22,6 +32,19 @@ from repro.api.scenario import Scenario
 def _run_scenario(scenario: Scenario) -> RunResult:
     """Module-level so pool workers can unpickle it."""
     return scenario.run()
+
+
+def _scenario_key(index: int, scenario: Scenario) -> str:
+    """Content digest of one scenario — the journal's task identity."""
+    return hashlib.sha256(
+        json.dumps(scenario.to_dict(), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _scenario_label(index: int, scenario: Scenario) -> str:
+    return (
+        f"{scenario.model}/{scenario.system}/gpus={scenario.num_gpus}"
+    )
 
 
 def _as_tuple(value: Union[object, Iterable[object]]) -> Tuple[object, ...]:
@@ -67,17 +90,47 @@ class Sweep:
     # -- execution ----------------------------------------------------------
 
     def run(
-        self, parallel: bool = True, processes: Optional[int] = None
-    ) -> List[RunResult]:
-        """Execute every scenario; results are in scenario order either way."""
-        if not parallel or len(self.scenarios) == 1:
-            return [scenario.run() for scenario in self.scenarios]
-        workers = processes or min(len(self.scenarios), os.cpu_count() or 2)
-        if workers <= 1:
-            return [scenario.run() for scenario in self.scenarios]
-        with multiprocessing.Pool(processes=workers) as pool:
-            # map() preserves input order, so parallel == serial ordering.
-            return pool.map(_run_scenario, self.scenarios)
+        self,
+        parallel: bool = True,
+        processes: Optional[int] = None,
+        *,
+        policy: Optional[BatchPolicy] = None,
+        failure_mode: Optional[str] = None,
+        journal: Optional[BatchJournal] = None,
+        resume: bool = False,
+    ) -> Union[List[RunResult], List[BatchOutcome]]:
+        """Execute every scenario; results are in scenario order either way.
+
+        ``strict`` mode (the default) returns plain :class:`RunResult`
+        rows and raises a typed error on the first non-ok scenario —
+        already-completed scenarios are still journaled first.
+        ``degrade`` mode returns one :class:`BatchOutcome` per scenario
+        (``outcome.result`` holds the :class:`RunResult` when ok).
+        ``processes`` must be positive; the pool is always clamped to the
+        scenario count.  With a ``journal``, ``resume=True`` replays it
+        and skips scenarios whose results it already holds.
+        """
+        policy = merge_policy(policy, processes, failure_mode)
+        runner = BatchRunner(
+            _run_scenario,
+            policy=policy,
+            journal=journal,
+            task_key=_scenario_key,
+            task_label=_scenario_label,
+            encode_result=lambda index, result: result.to_dict(),
+            decode_result=lambda index, payload: RunResult.from_dict(payload),
+        )
+        fan_out = (
+            parallel
+            and len(self.scenarios) > 1
+            and policy.worker_count(len(self.scenarios)) > 1
+        )
+        outcomes = runner.run(
+            self.scenarios, parallel=fan_out, resume=resume
+        )
+        if policy.failure_mode == "degrade":
+            return outcomes
+        return [outcome.result for outcome in outcomes]
 
     # -- container conveniences ---------------------------------------------
 

@@ -572,6 +572,115 @@ def bench_faults(size: int, reps: int, seed: int) -> List[BenchResult]:
     return results
 
 
+def _bench_batch_task(payload_kb: int) -> int:
+    """Module-level so both ``pool.map`` and the batch runner can run it
+    in forked workers; a few ms of real hashing per task, so the measured
+    difference is dispatch overhead, not noise."""
+    import hashlib
+
+    return hashlib.sha256(b"\x5a" * (payload_kb * 1024)).digest()[0]
+
+
+def bench_batch(size: int, reps: int, seed: int) -> List[BenchResult]:
+    """Batch-tier costs: per-task dispatch vs raw ``pool.map``, and the
+    journal's append/replay path.
+
+    ``batch_pool_map`` and ``batch_runner`` run the identical task list
+    through ``multiprocessing.Pool.map`` and through
+    :class:`~repro.batch.runner.BatchRunner` (same worker count, no
+    journal); the runner's per-task dispatch — what buys retries,
+    timeouts, and per-task outcomes — must stay within ~10% of the
+    all-or-nothing map.  ``batch_journal_append`` / ``batch_journal_replay``
+    time one terminal line's append and one line's share of a full
+    :meth:`~repro.batch.journal.BatchJournal.load`.
+    """
+    import multiprocessing
+    import os
+    import shutil
+    import tempfile
+
+    from repro.batch import (
+        BatchJournal,
+        BatchOutcome,
+        BatchPolicy,
+        BatchRunner,
+    )
+
+    num_tasks = 12
+    payload_kb = 2048
+    tasks = [payload_kb] * num_tasks
+    payload_bytes = num_tasks * payload_kb * 1024
+    ctx = multiprocessing.get_context("fork")
+
+    def pool_map() -> List[int]:
+        with ctx.Pool(2) as pool:
+            return pool.map(_bench_batch_task, tasks)
+
+    def runner() -> List[int]:
+        batch = BatchRunner(
+            _bench_batch_task,
+            policy=BatchPolicy(processes=2, failure_mode="degrade"),
+        )
+        return [o.result for o in batch.run(tasks)]
+
+    # alternate the two variants so transient load hits both equally
+    if pool_map() != runner():
+        raise ReproError("batch runner output differs from pool.map")
+    map_t = runner_t = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        pool_map()
+        map_t = min(map_t, time.perf_counter() - start)
+        start = time.perf_counter()
+        runner()
+        runner_t = min(runner_t, time.perf_counter() - start)
+    results = [
+        _result("batch_pool_map", "vectorized", num_tasks, payload_bytes, map_t),
+        _result(
+            "batch_runner", "vectorized", num_tasks, payload_bytes,
+            runner_t, map_t,
+        ),
+    ]
+
+    num_lines = max(min(size // 100, 2000), 200)
+    spool = tempfile.mkdtemp(prefix="repro-bench-batch-")
+    try:
+        path = os.path.join(spool, "bench.jsonl")
+        keys = [f"task-{i}" for i in range(num_lines)]
+        outcomes = [
+            BatchOutcome(index=i, key=keys[i], label=keys[i], state="ok",
+                         attempts=1, elapsed_s=0.001, result=i)
+            for i in range(num_lines)
+        ]
+
+        def journal_append() -> None:
+            journal = BatchJournal(path, run_id="bench")
+            journal.start_run(keys, BatchPolicy(failure_mode="degrade"))
+            for outcome in outcomes:
+                journal.task_done(outcome, payload=outcome.result)
+
+        elapsed = _best_of(journal_append, reps)
+        journal_bytes = os.path.getsize(path)
+        results.append(
+            _result("batch_journal_append", "vectorized", num_lines,
+                    journal_bytes, elapsed)
+        )
+
+        def journal_replay() -> int:
+            return len(BatchJournal(path, run_id="bench").load().outcomes)
+
+        if journal_replay() != num_lines:
+            raise ReproError("journal replay lost terminal lines")
+        elapsed = _best_of(journal_replay, reps)
+        results.append(
+            _result("batch_journal_replay", "vectorized", num_lines,
+                    journal_bytes, elapsed)
+        )
+    finally:
+        shutil.rmtree(spool, ignore_errors=True)
+    return results
+
+
 def bench_ops(size: int, reps: int, rng: np.random.Generator) -> List[BenchResult]:
     """The numpy preprocessing kernels the Transform phase is built from."""
     from repro.ops.bucketize import bucketize
@@ -617,6 +726,7 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> Dict[str, object]:
     results += bench_shard_executor(min(size, 500_000), reps, seed + 6)
     results += bench_serve(min(size, 200_000), reps, seed + 7)
     results += bench_faults(min(size, 200_000), reps, seed + 8)
+    results += bench_batch(min(size, 200_000), reps, seed + 9)
     return {
         "schema_version": _SCHEMA_VERSION,
         "quick": quick,

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -229,10 +230,56 @@ def _csv(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
+def _batch_journal(args: argparse.Namespace):
+    """``(journal, resume)`` from ``--run-id``/``--resume``.
+
+    ``--resume RUN_ID`` implies the journal of that run; ``--run-id``
+    starts a fresh journaled run.  With neither, no journal is written.
+    The journal lives under ``<cache-dir>/batch`` when ``--cache-dir``
+    is given, else under the default store root.
+    """
+    from repro.batch import BatchJournal
+
+    resume_id = getattr(args, "resume", None)
+    run_id = resume_id or getattr(args, "run_id", None)
+    if run_id is None:
+        return None, False
+    cache_dir = getattr(args, "cache_dir", None)
+    root = os.path.join(cache_dir, "batch") if cache_dir else None
+    try:
+        journal = BatchJournal.for_run(run_id, root=root)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    return journal, resume_id is not None
+
+
+def _print_outcomes(outcomes, title: str, as_json: bool) -> None:
+    """Degrade-mode sweep output: ok rows tabulated, failures named."""
+    if as_json:
+        payload = []
+        for outcome in outcomes:
+            record = outcome.to_dict()
+            if outcome.ok:
+                record["result"] = outcome.result.to_dict()
+            payload.append(record)
+        print(json.dumps(payload, indent=2))
+        return
+    ok = [outcome.result for outcome in outcomes if outcome.ok]
+    if ok:
+        print(format_table(
+            RESULT_HEADERS, [_result_row(r) for r in ok], title
+        ))
+    for outcome in outcomes:
+        if not outcome.ok:
+            print(
+                f"FAILED {outcome.label}: {outcome.state} after "
+                f"{outcome.attempts} attempt(s): {outcome.error}"
+            )
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Full report (cached, optionally parallel, optionally JSON)."""
+    journal, resume = _batch_journal(args)
     try:
         results = report_mod.run_all(
             kinds=_parse_only(args.only),
@@ -240,6 +287,9 @@ def cmd_report(args: argparse.Namespace) -> int:
             processes=args.processes,
             store=_store_from_args(args),
             force=args.force,
+            failure_mode=args.failure_mode,
+            journal=journal,
+            resume=resume,
         )
     except ReproError as exc:
         raise SystemExit(str(exc))
@@ -330,6 +380,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a scenario grid (models x systems x gpus) and tabulate it."""
+    from repro.batch import BatchPolicy
+
+    journal, resume = _batch_journal(args)
     try:
         sweep = Sweep.grid(
             models=_csv(args.models),
@@ -339,9 +392,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             queue_capacity=args.queue,
             calibration=_parse_overrides(args.set),
         )
-        results = sweep.run(parallel=not args.serial, processes=args.processes)
+        policy = BatchPolicy(
+            max_retries=args.max_retries,
+            task_timeout_s=args.task_timeout,
+        )
+        results = sweep.run(
+            parallel=not args.serial,
+            processes=args.processes,
+            policy=policy,
+            failure_mode=args.failure_mode,
+            journal=journal,
+            resume=resume,
+        )
     except ReproError as exc:
         raise SystemExit(str(exc))
+    if args.failure_mode == "degrade":
+        _print_outcomes(
+            results, f"Sweep: {len(results)} scenarios", args.json
+        )
+        return 0 if all(outcome.ok for outcome in results) else 1
     _print_results(
         results, f"Sweep: {len(results)} scenarios", args.json
     )
@@ -706,7 +775,6 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """Run the seeded fault matrix against a live service; gate on invariants."""
     from repro.faults import ChaosError
     from repro.faults.chaos import (
-        DEFAULT_FAULTS,
         check_report,
         deterministic_view,
         render_report,
@@ -716,12 +784,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     faults = (
         tuple(f.strip() for f in args.faults.split(",") if f.strip())
         if args.faults
-        else DEFAULT_FAULTS
+        else None
     )
     try:
         report = run_chaos(
             faults,
             seed=args.seed,
+            tier=args.tier,
             num_jobs=args.jobs,
             rows=args.rows,
             shards=args.shards,
@@ -779,6 +848,20 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
                              "or ~/.cache/repro/experiments)")
 
 
+def _add_batch_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--run-id", default=None, metavar="RUN_ID",
+                        help="journal this batch under RUN_ID so an "
+                             "interrupted run can be resumed")
+    parser.add_argument("--resume", default=None, metavar="RUN_ID",
+                        help="replay RUN_ID's journal: skip completed tasks, "
+                             "re-run only interrupted/failed ones")
+    parser.add_argument("--failure-mode", choices=("strict", "degrade"),
+                        default=None,
+                        help="strict aborts on the first failure (default); "
+                             "degrade keeps going and reports per-task "
+                             "outcomes")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser."""
     parser = argparse.ArgumentParser(
@@ -800,6 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--json", action="store_true",
                         help="emit the structured report payload as JSON")
     _add_cache_options(report)
+    _add_batch_options(report)
     report.set_defaults(func=cmd_report)
 
     list_parser = sub.add_parser("list", help="list experiment ids")
@@ -834,7 +918,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="run scenarios serially (default: parallel)")
     sweep_parser.add_argument("--processes", type=int, default=None,
                               help="pool size for parallel execution")
+    sweep_parser.add_argument("--task-timeout", type=float, default=None,
+                              help="wall-clock seconds before a scenario is "
+                                   "abandoned (parallel runs only)")
+    sweep_parser.add_argument("--max-retries", type=int, default=1,
+                              help="retries per scenario before it counts "
+                                   "as failed")
     _add_scenario_options(sweep_parser)
+    _add_batch_options(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     sub.add_parser(
@@ -982,8 +1073,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0,
                        help="fault plan seed (same seed => same matrix)")
     chaos.add_argument("--faults", default=None,
-                       help="comma-separated fault classes (default "
-                            "worker-crash,hung-stage,torn-write)")
+                       help="comma-separated fault classes (default: the "
+                            "tier's fault matrix)")
+    chaos.add_argument("--tier", choices=("serve", "batch"), default="serve",
+                       help="which tier to attack: the streaming service "
+                            "or the batch runner (default serve)")
     chaos.add_argument("--jobs", type=int, default=6,
                        help="jobs per episode (default 6)")
     chaos.add_argument("--rows", type=int, default=512,

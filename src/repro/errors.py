@@ -81,6 +81,22 @@ class JobTimeoutError(ServeError):
     worker that was stuck running it."""
 
 
+class BatchError(ReproError):
+    """The fault-tolerant batch runner was configured or driven wrongly,
+    or a batch journal is corrupt."""
+
+
+class TaskTimeoutError(BatchError):
+    """A batch task blew its wall-clock deadline; the runner terminated
+    and replaced the worker process that was stuck running it."""
+
+
+class BatchTaskError(BatchError):
+    """A batch task failed in ``strict`` mode.  Names the task and carries
+    the underlying error text; already-completed tasks were still
+    journaled (and cached, when a store is attached) before this raised."""
+
+
 class FaultError(ReproError):
     """An injected fault fired (deterministic fault-injection harness)."""
 

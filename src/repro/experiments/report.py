@@ -21,7 +21,42 @@ from repro.api.experiment import (
     RunStore,
     run_experiments,
 )
+from repro.batch import BatchJournal, BatchOutcome, BatchPolicy
 from repro.experiments.common import PaperClaim
+
+
+class ExperimentFailure:
+    """A non-ok batch outcome wearing the result protocol.
+
+    In ``degrade`` mode a failed/timed-out/interrupted experiment still
+    gets a slot in the report; this marker renders the failure loudly,
+    contributes no claims, and exports its outcome record — so a partial
+    report stays well-formed instead of the whole run dying.
+    """
+
+    def __init__(self, outcome: BatchOutcome) -> None:
+        self.outcome = outcome
+
+    def columns(self) -> Tuple[str, ...]:
+        return ("state", "attempts", "error")
+
+    def rows(self) -> List[Tuple]:
+        o = self.outcome
+        return [(o.state, o.attempts, o.error or "")]
+
+    def claims(self) -> List[PaperClaim]:
+        return []
+
+    def render(self) -> str:
+        o = self.outcome
+        return (
+            f"EXPERIMENT {o.state.upper()} after {o.attempts} attempt(s): "
+            f"{o.error}\n(re-run with --resume to retry just the missing "
+            f"experiments)"
+        )
+
+    def to_dict(self) -> Dict:
+        return self.outcome.to_dict()
 
 
 def _selected_specs(
@@ -45,18 +80,33 @@ def run_all(
     processes: Optional[int] = None,
     store: Optional[RunStore] = None,
     force: bool = False,
+    policy: Optional[BatchPolicy] = None,
+    failure_mode: Optional[str] = None,
+    journal: Optional[BatchJournal] = None,
+    resume: bool = False,
 ) -> Dict[str, object]:
     """Run every registered experiment (and, by default, every ablation).
 
     Results come back keyed by paper title, in paper order, regardless of
     ``parallel`` or cache hits — a parallel or cached run renders
-    byte-identically to a serial fresh one.
+    byte-identically to a serial fresh one.  In ``degrade`` mode a non-ok
+    experiment's slot holds an :class:`ExperimentFailure` marker instead
+    of aborting the report; with a ``journal``, ``resume=True`` replays
+    completed experiments and re-runs only the missing ones.
     """
     specs = _selected_specs(include_ablations, kinds)
     runs = [ExperimentRun(spec.id) for spec in specs]
     results = run_experiments(
-        runs, parallel=parallel, processes=processes, store=store, force=force
+        runs, parallel=parallel, processes=processes, store=store,
+        force=force, policy=policy, failure_mode=failure_mode,
+        journal=journal, resume=resume,
     )
+    effective_mode = failure_mode or (policy.failure_mode if policy else None)
+    if effective_mode == "degrade":
+        results = [
+            outcome.result if outcome.ok else ExperimentFailure(outcome)
+            for outcome in results
+        ]
     return {spec.title: result for spec, result in zip(specs, results)}
 
 

@@ -37,9 +37,17 @@ from repro.faults.plan import FAULT_POINTS, FaultPlan, FaultRule
 #: the default matrix CI smokes: crash, hang, and torn-index classes
 DEFAULT_FAULTS = ("worker-crash", "hung-stage", "torn-write")
 
+#: the batch tier's default matrix (task-hang replaces hung-stage — the
+#: batch runner's watchdog deadline lives at the task, not the stage)
+DEFAULT_BATCH_FAULTS = ("worker-crash", "task-hang", "torn-write")
+
+#: the chaos tiers: a live streaming service, or a batch runner fan-out
+CHAOS_TIERS = ("serve", "batch")
+
 #: per-class default rates — roughly half the jobs get hit, deterministically
 _DEFAULT_RATES = {
     "worker-crash": 0.45,
+    "task-hang": 0.4,
     "hung-stage": 0.4,
     "slow-stage": 0.6,
     "stage-error": 0.5,
@@ -66,7 +74,8 @@ def plan_for(
         # a hang must outlive the watchdog deadline by a wide margin so the
         # watchdog — not the hang expiring — is what resolves the job
         delay_s=(
-            job_timeout_s * 10.0 + 5.0 if fault == "hung-stage"
+            job_timeout_s * 10.0 + 5.0
+            if fault in ("hung-stage", "task-hang")
             else 0.02 if fault in ("slow-stage", "queue-stall") else None
         ),
     )
@@ -247,21 +256,200 @@ def run_episode(
     }
 
 
+def _chaos_batch_task(job: PreprocessJob) -> str:
+    """Module-level batch worker: one job's serial content digest."""
+    return job.run(parallel=False).digest
+
+
+def _batch_task_key(index: int, job: PreprocessJob) -> str:
+    """Content digest of one batch task — the journal's task identity."""
+    import hashlib
+    import json as _json
+
+    return hashlib.sha256(
+        _json.dumps(job.to_dict(), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def run_batch_episode(
+    fault: str,
+    seed: int,
+    spool_dir: str,
+    num_jobs: int = 6,
+    rows: int = 512,
+    shards: int = 2,
+    workers: int = 2,
+    job_timeout_s: float = 5.0,
+    model: str = "RM1",
+    rate: Optional[float] = None,
+    verify_serial: bool = True,
+    **_ignored: Any,
+) -> Dict[str, Any]:
+    """One fault class against the batch runner; returns the episode report.
+
+    The episode fans ``num_jobs`` preprocessing jobs across a
+    :class:`~repro.batch.runner.BatchRunner` (degrade mode, journaled
+    under ``spool_dir``) with the injector installed, then gates the
+    batch tier's four invariants: every task terminal, ok digests equal
+    to the serial path, journal loadable with at most one terminal line
+    per task per run segment, and no leaked worker processes.  A final
+    resume pass *without* the injector must then complete every task with
+    serial-identical digests — the crash-recovery guarantee itself.
+
+    Keyword names mirror :func:`run_episode` (``workers`` is the process
+    count, ``job_timeout_s`` the per-task watchdog deadline) so one CLI
+    drives both tiers; serve-only kwargs are accepted and ignored.
+    """
+    from repro.batch import BatchJournal, BatchPolicy, BatchRunner
+
+    plan = plan_for(fault, seed, job_timeout_s, rate=rate)
+    injector = FaultInjector(plan)
+    violations: List[str] = []
+    started = time.perf_counter()
+    jobs = [
+        PreprocessJob(model=model, num_rows=rows, num_shards=shards, seed=k)
+        for k in range(num_jobs)
+    ]
+    policy = BatchPolicy(
+        max_retries=1,
+        backoff_s=0.01,
+        task_timeout_s=job_timeout_s,
+        failure_mode="degrade",
+        processes=workers,
+    )
+    journal = BatchJournal(
+        os.path.join(spool_dir, "batch.jsonl"), run_id=f"chaos-{fault}"
+    )
+    runner = BatchRunner(
+        _chaos_batch_task,
+        policy=policy,
+        journal=journal,
+        task_key=_batch_task_key,
+    )
+    with installed(injector):
+        outcomes = runner.run(jobs, parallel=True)
+
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        counts[outcome.state] = counts.get(outcome.state, 0) + 1
+    # invariant 1: every task ended in a terminal outcome
+    if len(outcomes) != num_jobs:
+        violations.append(
+            f"only {len(outcomes)}/{num_jobs} tasks reached a terminal "
+            f"outcome"
+        )
+    # invariant 2: completed digests byte-identical to the serial path
+    digests_checked = 0
+    serial_digests: Dict[PreprocessJob, str] = {}
+    if verify_serial:
+        for outcome in outcomes:
+            if not outcome.ok:
+                continue
+            job = jobs[outcome.index]
+            expected = serial_digests.get(job)
+            if expected is None:
+                expected = job.run(parallel=False).digest
+                serial_digests[job] = expected
+            digests_checked += 1
+            if outcome.result != expected:
+                violations.append(
+                    f"task {outcome.index} digest {outcome.result} != "
+                    f"serial {expected}"
+                )
+    # invariant 3: the journal survived every injected fault — loadable,
+    # and never more than one terminal line per task per run segment
+    try:
+        state = journal.load()
+        if state.max_terminal_per_segment > 1:
+            violations.append(
+                f"duplicate terminal journal lines: a task got "
+                f"{state.max_terminal_per_segment} in one run segment"
+            )
+    except ReproError as exc:
+        violations.append(f"batch journal unreadable after faults: {exc}")
+    # invariant 4: every crashed/stuck worker was reaped, none leaked
+    if runner.leaked_workers:
+        violations.append(
+            f"worker leak: {runner.leaked_workers} worker process(es) "
+            f"survived shutdown"
+        )
+    # recovery: resuming WITHOUT the injector must finish every task and
+    # converge on the serial digests
+    resumed_states: Dict[str, int] = {}
+    if verify_serial:
+        resumer = BatchRunner(
+            _chaos_batch_task,
+            policy=policy,
+            journal=BatchJournal(journal.path, run_id=journal.run_id),
+            task_key=_batch_task_key,
+        )
+        try:
+            resumed = resumer.run(jobs, parallel=True, resume=True)
+        except ReproError as exc:
+            violations.append(f"resume after faults failed: {exc}")
+        else:
+            for outcome in resumed:
+                resumed_states[outcome.state] = (
+                    resumed_states.get(outcome.state, 0) + 1
+                )
+                if not outcome.ok:
+                    violations.append(
+                        f"task {outcome.index} still {outcome.state} after "
+                        f"fault-free resume: {outcome.error}"
+                    )
+                    continue
+                job = jobs[outcome.index]
+                expected = serial_digests.get(job)
+                if expected is None:
+                    expected = job.run(parallel=False).digest
+                    serial_digests[job] = expected
+                if outcome.result != expected:
+                    violations.append(
+                        f"task {outcome.index} resume digest "
+                        f"{outcome.result} != serial {expected}"
+                    )
+
+    return {
+        "fault": fault,
+        "plan": plan.to_dict(),
+        "jobs": len(outcomes),
+        "states": dict(sorted(counts.items())),
+        "resumed_states": dict(sorted(resumed_states.items())),
+        "fired": injector.fire_counts(),
+        "digests_checked": digests_checked,
+        "index_errors": len(runner.journal_errors),
+        "violations": violations,
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
 def run_chaos(
-    faults: Sequence[str] = DEFAULT_FAULTS,
+    faults: Optional[Sequence[str]] = None,
     seed: int = 0,
     spool_root: Optional[str] = None,
+    tier: str = "serve",
     **episode_kwargs: Any,
 ) -> Dict[str, Any]:
     """Run one episode per fault class; returns the full matrix report.
 
-    The report's ``ok`` is True iff no episode recorded a violation.
-    Everything except the ``elapsed_s`` fields is deterministic for a
-    fixed seed (see :func:`deterministic_view`).
+    ``tier`` picks the surface under test: ``serve`` drives a live
+    streaming service (:func:`run_episode`), ``batch`` drives the
+    fault-tolerant batch runner (:func:`run_batch_episode`).  ``faults``
+    defaults to the tier's canonical matrix.  The report's ``ok`` is True
+    iff no episode recorded a violation.  Everything except the
+    ``elapsed_s`` fields is deterministic for a fixed seed (see
+    :func:`deterministic_view`).
     """
     import shutil
     import tempfile
 
+    if tier not in CHAOS_TIERS:
+        raise ConfigurationError(
+            f"tier must be one of {CHAOS_TIERS}, got {tier!r}"
+        )
+    if faults is None:
+        faults = DEFAULT_FAULTS if tier == "serve" else DEFAULT_BATCH_FAULTS
+    episode = run_episode if tier == "serve" else run_batch_episode
     owned = spool_root is None
     root = spool_root or tempfile.mkdtemp(prefix="repro-chaos-")
     started = time.perf_counter()
@@ -270,7 +458,7 @@ def run_chaos(
         for fault in faults:
             spool = os.path.join(root, fault)
             episodes.append(
-                run_episode(fault, seed=seed, spool_dir=spool, **episode_kwargs)
+                episode(fault, seed=seed, spool_dir=spool, **episode_kwargs)
             )
     finally:
         if owned:
@@ -278,6 +466,7 @@ def run_chaos(
     return {
         "schema_version": 1,
         "seed": seed,
+        "tier": tier,
         "faults": list(faults),
         "episodes": episodes,
         "ok": all(not ep["violations"] for ep in episodes),

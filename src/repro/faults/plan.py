@@ -29,8 +29,11 @@ from repro.errors import ConfigurationError
 #: the catalog of named fault points (probe sites) woven through the code:
 #: point -> (module that hosts the probe, what firing there means)
 FAULT_POINTS: Dict[str, str] = {
-    "worker-crash": "serve/pool: the worker thread dies mid-job "
-                    "(BaseException escapes — the crashed-process stand-in)",
+    "worker-crash": "serve/pool + batch/runner: the worker dies mid-task "
+                    "(BaseException escapes — the crashed-process stand-in; "
+                    "in the batch tier it kills the worker process outright)",
+    "task-hang": "batch/runner: a batch task blocks past its wall-clock "
+                 "deadline inside the worker process (watchdog territory)",
     "hung-stage": "exec/executor + serve/service: a pipeline stage blocks "
                   "past the job deadline (watchdog territory)",
     "slow-stage": "exec/executor + serve/service: a pipeline stage is "
@@ -60,6 +63,7 @@ _GENERIC_ACTIONS = ("crash", "hang", "delay", "error")
 #: default action per point when a rule leaves ``action`` unset
 DEFAULT_ACTIONS = {
     "worker-crash": "crash",
+    "task-hang": "hang",
     "hung-stage": "hang",
     "slow-stage": "delay",
     "stage-error": "error",

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.api.preprocess import PreprocessJob
 from repro.errors import ReproError, ServeError
-from repro.faults.injector import fault_point
+from repro.journal import JsonlJournal
 
 #: every state a job can be in; the last three are terminal.  "interrupted"
 #: marks a job a dead daemon left queued/running — a restarted service
@@ -263,37 +263,18 @@ class JobLogIndex:
                 f"compact_ratio must be >= 1.0, got {compact_ratio!r}"
             )
         self.path = path
-        self.fsync = bool(fsync)
         self.compact_min_lines = compact_min_lines
         self.compact_ratio = compact_ratio
         self.compactions = 0
         self._lock = threading.Lock()
-        self._lines = self._count_lines()  # lines on disk (approximate floor)
+        # the file mechanics — torn-tail healing, fsync, fault probes,
+        # atomic rewrite — live in the shared JsonlJournal core
+        self._journal = JsonlJournal(path, fsync=fsync)
         self._jobs: set = set()  # distinct job_ids appended this process
-        # truncate target after a torn write; seeded from disk so a torn
-        # final line a killed daemon left behind is healed before this
-        # process's first append instead of growing interior corruption
-        self._heal_to: Optional[int] = self._detect_torn_tail()
-        parent = os.path.dirname(os.path.abspath(path))
-        os.makedirs(parent, exist_ok=True)
 
-    def _count_lines(self) -> int:
-        try:
-            with open(self.path, "rb") as handle:
-                return sum(1 for _ in handle)
-        except OSError:
-            return 0
-
-    def _detect_torn_tail(self) -> Optional[int]:
-        """Offset just past the last complete line, or ``None`` if clean."""
-        try:
-            with open(self.path, "rb") as handle:
-                data = handle.read()
-        except OSError:
-            return None
-        if not data or data.endswith(b"\n"):
-            return None
-        return data.rfind(b"\n") + 1  # 0 when the whole file is one half-line
+    @property
+    def fsync(self) -> bool:
+        return self._journal.fsync
 
     def append(self, record: JobRecord) -> None:
         """Durably append one transition (thread-safe).
@@ -303,32 +284,7 @@ class JobLogIndex:
         """
         line = json.dumps(record.to_dict(), sort_keys=True)
         with self._lock:
-            # probes: disk-full raises ENOSPC before any byte lands;
-            # torn-write is cooperative — enacted below, mid-line
-            fault_point("disk-full", job_id=record.job_id)
-            torn = fault_point("torn-write", job_id=record.job_id)
-            size = os.path.getsize(self.path) if os.path.exists(self.path) else 0
-            if self._heal_to is not None and self._heal_to < size:
-                with open(self.path, "r+") as handle:
-                    handle.truncate(self._heal_to)
-                size = self._heal_to
-            self._heal_to = None
-            with open(self.path, "a") as handle:
-                if torn is not None and torn.action == "torn":
-                    handle.write(line[: max(1, len(line) // 2)])
-                    handle.flush()
-                    self._heal_to = size
-                    from repro.errors import FaultError
-
-                    raise FaultError(
-                        f"injected fault: index append torn mid-line for "
-                        f"{record.job_id}"
-                    )
-                handle.write(line + "\n")
-                if self.fsync:
-                    handle.flush()
-                    os.fsync(handle.fileno())
-            self._lines += 1
+            self._journal.append(line, job_id=record.job_id)
             self._jobs.add(record.job_id)
 
     def load(self) -> List[JobRecord]:
@@ -337,20 +293,13 @@ class JobLogIndex:
             return self._load_locked()
 
     def _load_locked(self) -> List[JobRecord]:
-        if not os.path.exists(self.path):
-            return []
-        with open(self.path) as handle:
-            lines = handle.readlines()
         latest: Dict[str, JobRecord] = {}
-        for number, line in enumerate(lines, start=1):
-            text = line.strip()
-            if not text:
-                continue
+        for number, text, complete in self._journal.read():
             try:
                 payload = json.loads(text)
                 record = JobRecord.from_dict(payload)
             except (ValueError, ReproError) as exc:
-                if number == len(lines) and not line.endswith("\n"):
+                if not complete:
                     continue  # torn final append from a killed daemon
                 raise ServeError(
                     f"corrupt job index {self.path} at line {number}: {exc}"
@@ -363,7 +312,7 @@ class JobLogIndex:
     def should_compact(self) -> bool:
         """Whether the line count warrants a rewrite (cheap, in-memory)."""
         jobs = max(1, len(self._jobs))
-        return self._lines >= max(
+        return self._journal.lines >= max(
             self.compact_min_lines, int(self.compact_ratio * jobs)
         )
 
@@ -388,15 +337,9 @@ class JobLogIndex:
     def _compact_locked(self) -> int:
         records = self._load_locked()
         records.sort(key=_completion_key)  # oldest first, append order
-        tmp = f"{self.path}.compact.{os.getpid()}"
-        with open(tmp, "w") as handle:
-            for record in records:
-                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
-        self._lines = len(records)
+        self._journal.rewrite(
+            [json.dumps(record.to_dict(), sort_keys=True) for record in records]
+        )
         self._jobs = {record.job_id for record in records}
-        self._heal_to = None  # a rewrite heals any remembered torn tail
         self.compactions += 1
         return len(records)

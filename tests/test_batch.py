@@ -1,0 +1,753 @@
+"""Tests for the fault-tolerant batch tier (repro.batch):
+
+* ``BatchPolicy`` validation, worker clamp, backoff, dict round trips;
+* ``BatchOutcome`` state machine;
+* the shared ``JsonlJournal`` core (torn-tail healing, atomic rewrite);
+* ``BatchJournal`` line shapes, resume segments, corruption handling;
+* ``BatchRunner`` serial + parallel: retries, degrade vs strict, wall
+  clock timeouts, SIGKILLed workers, journaled resume;
+* the ``Sweep.run`` / ``run_experiments`` entry points on top of it
+  (clamp fix, ``processes=0`` rejection, caching completed results even
+  when a later task fails strict);
+* ``repro chaos --tier batch`` invariants and the CLI's resume surface,
+  including a subprocess SIGKILL of ``repro report --parallel`` whose
+  resumed output must be byte-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api import (
+    BatchJournal,
+    BatchOutcome,
+    BatchPolicy,
+    BatchRunner,
+    ExperimentRun,
+    RunStore,
+    Sweep,
+    run_experiments,
+)
+from repro.batch.policy import merge_policy
+from repro.errors import (
+    BatchError,
+    BatchTaskError,
+    ConfigurationError,
+    TaskTimeoutError,
+)
+from repro.journal import JsonlJournal
+
+FAST = BatchPolicy(max_retries=1, backoff_s=0.001, failure_mode="degrade")
+
+
+# -- module-level worker functions (forked workers run these) ---------------
+
+def _double(x):
+    return x * 2
+
+
+def _fail_on_negative(x):
+    if x < 0:
+        raise ValueError(f"bad input {x}")
+    return x * 2
+
+
+def _kill_self_on_negative(x):
+    if x < 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 2
+
+
+def _hang_on_negative(x):
+    if x < 0:
+        time.sleep(30.0)
+    return x * 2
+
+
+def _touch_then_fail(path):
+    """Fails on first sight of ``path``, succeeds after (cross-process)."""
+    if os.path.exists(path):
+        return "recovered"
+    with open(path, "w") as handle:
+        handle.write("seen")
+    raise RuntimeError("first attempt always fails")
+
+
+# ---------------------------------------------------------------------------
+# policy
+# ---------------------------------------------------------------------------
+
+
+class TestBatchPolicy:
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.max_retries == 1
+        assert policy.failure_mode == "strict"
+        assert policy.task_timeout_s is None
+        assert policy.processes is None
+
+    def test_worker_count_clamps_explicit_processes(self):
+        # the Sweep.run bug: an explicit processes was not clamped to the
+        # task count, spawning idle workers
+        assert BatchPolicy(processes=64).worker_count(3) == 3
+        assert BatchPolicy(processes=2).worker_count(10) == 2
+        assert BatchPolicy(processes=4).worker_count(0) == 1
+        assert BatchPolicy().worker_count(1) == 1
+
+    def test_backoff_is_exponential(self):
+        policy = BatchPolicy(backoff_s=0.1, backoff_factor=2.0)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.2)
+        assert policy.backoff_for(3) == pytest.approx(0.4)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1},
+        {"max_retries": 1.5},
+        {"backoff_s": -0.1},
+        {"backoff_factor": 0.5},
+        {"task_timeout_s": 0},
+        {"task_timeout_s": -1.0},
+        {"failure_mode": "maybe"},
+        {"processes": 0},
+        {"processes": -2},
+        {"processes": "4"},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(**kwargs)
+
+    def test_dict_round_trip(self):
+        policy = BatchPolicy(max_retries=3, task_timeout_s=7.5,
+                             failure_mode="degrade", processes=2)
+        assert BatchPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy.from_dict({"max_retries": 1, "bogus": True})
+
+    def test_merge_policy_overrides(self):
+        base = BatchPolicy(max_retries=5)
+        merged = merge_policy(base, processes=3, failure_mode="degrade")
+        assert merged.max_retries == 5
+        assert merged.processes == 3
+        assert merged.failure_mode == "degrade"
+        assert merge_policy(base) is base
+
+    def test_merge_policy_validates(self):
+        with pytest.raises(ConfigurationError):
+            merge_policy(None, processes=0)
+        with pytest.raises(ConfigurationError):
+            merge_policy("not a policy")
+
+
+# ---------------------------------------------------------------------------
+# outcomes
+# ---------------------------------------------------------------------------
+
+
+class TestBatchOutcome:
+    def test_ok(self):
+        outcome = BatchOutcome(index=0, key="k", label="L", state="ok",
+                               attempts=1, result=42)
+        assert outcome.ok
+        assert outcome.result == 42
+        assert "result" not in outcome.to_dict()
+
+    def test_non_ok_requires_error(self):
+        with pytest.raises(BatchError):
+            BatchOutcome(index=0, key="k", label="L", state="failed",
+                         attempts=1)
+
+    def test_rejects_unknown_state(self):
+        with pytest.raises(BatchError):
+            BatchOutcome(index=0, key="k", label="L", state="exploded",
+                         attempts=1, error="x")
+
+
+# ---------------------------------------------------------------------------
+# shared journal core
+# ---------------------------------------------------------------------------
+
+
+class TestJsonlJournal:
+    def test_append_and_read(self, tmp_path):
+        journal = JsonlJournal(str(tmp_path / "j.jsonl"))
+        journal.append('{"a": 1}')
+        journal.append('{"b": 2}')
+        entries = journal.read()
+        assert [(t, c) for _, t, c in entries] == [
+            ('{"a": 1}', True), ('{"b": 2}', True),
+        ]
+        assert journal.lines == 2
+
+    def test_torn_tail_is_flagged_and_healed(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"a": 1}\n{"half')  # killed mid-append
+        journal = JsonlJournal(str(path))
+        entries = journal.read()
+        assert entries[-1][2] is False  # torn tail is incomplete
+        journal.append('{"b": 2}')  # heals before appending
+        assert [t for _, t, _ in journal.read()] == ['{"a": 1}', '{"b": 2}']
+
+    def test_rewrite_replaces_contents(self, tmp_path):
+        journal = JsonlJournal(str(tmp_path / "j.jsonl"))
+        journal.append('{"a": 1}')
+        journal.rewrite(['{"z": 9}'])
+        assert [t for _, t, _ in journal.read()] == ['{"z": 9}']
+        assert journal.lines == 1
+
+
+# ---------------------------------------------------------------------------
+# batch journal
+# ---------------------------------------------------------------------------
+
+
+class TestBatchJournal:
+    def _journal(self, tmp_path, run_id="run1"):
+        return BatchJournal(str(tmp_path / f"{run_id}.jsonl"), run_id=run_id)
+
+    def test_for_run_rejects_bad_ids(self, tmp_path):
+        for bad in ("", "../escape", "has space", None, 7):
+            with pytest.raises(BatchError):
+                BatchJournal.for_run(bad, root=str(tmp_path))
+
+    def test_for_run_places_journal_under_root(self, tmp_path):
+        journal = BatchJournal.for_run("smoke", root=str(tmp_path))
+        assert journal.path == str(tmp_path / "smoke.jsonl")
+        assert journal.run_id == "smoke"
+
+    def test_start_run_resets_stale_journal(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.start_run(["k0"], BatchPolicy())
+        journal.task_done(BatchOutcome(index=0, key="k0", label="t0",
+                                       state="ok", attempts=1, result=1),
+                          payload=1)
+        journal.start_run(["k0"], BatchPolicy())  # fresh run, same id
+        state = journal.load()
+        assert state.completed() == set()
+        assert state.outcomes == {}
+
+    def test_load_reconstructs_run(self, tmp_path):
+        journal = self._journal(tmp_path)
+        policy = BatchPolicy(max_retries=2, failure_mode="degrade")
+        journal.start_run(["k0", "k1", "k2"], policy)
+        journal.task_started(0, "k0", 1)
+        journal.task_done(BatchOutcome(index=0, key="k0", label="t0",
+                                       state="ok", attempts=1, result="r0"),
+                          payload="r0")
+        journal.task_started(1, "k1", 1)
+        journal.task_done(BatchOutcome(index=1, key="k1", label="t1",
+                                       state="failed", attempts=2,
+                                       error="boom"))
+        journal.task_started(2, "k2", 1)  # in flight at the crash
+        state = journal.load()
+        assert state.run_id == "run1"
+        assert state.keys == ("k0", "k1", "k2")
+        assert BatchPolicy.from_dict(state.policy) == policy
+        assert state.completed() == {0}
+        assert state.outcomes[0]["result"] == "r0"
+        assert state.outcomes[1]["status"] == "failed"
+        assert 2 not in state.outcomes
+        assert state.started == {0, 1, 2}
+        assert state.max_terminal_per_segment == 1
+
+    def test_resume_segments_supersede(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.start_run(["k0"], BatchPolicy())
+        journal.task_done(BatchOutcome(index=0, key="k0", label="t0",
+                                       state="failed", attempts=2,
+                                       error="boom"))
+        journal.mark_resume()
+        journal.task_done(BatchOutcome(index=0, key="k0", label="t0",
+                                       state="ok", attempts=1, result="r"),
+                          payload="r")
+        state = journal.load()
+        assert state.resumes == 1
+        assert state.completed() == {0}
+        # one terminal per segment, not two in one
+        assert state.max_terminal_per_segment == 1
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.start_run(["k0"], BatchPolicy())
+        journal.task_done(BatchOutcome(index=0, key="k0", label="t0",
+                                       state="ok", attempts=1, result="r"),
+                          payload="r")
+        with open(journal.path, "a") as handle:
+            handle.write('{"type": "task", "ind')  # torn mid-append
+        state = BatchJournal(journal.path, run_id="run1").load()
+        assert state.completed() == {0}
+
+    def test_interior_corruption_is_loud(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.start_run(["k0"], BatchPolicy())
+        with open(journal.path, "a") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"type": "resume"}) + "\n")
+        with pytest.raises(BatchError):
+            BatchJournal(journal.path, run_id="run1").load()
+
+    def test_key_mismatch_is_loud(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.start_run(["k0"], BatchPolicy())
+        journal.task_started(0, "DIFFERENT", 1)
+        with pytest.raises(BatchError):
+            journal.load()
+
+
+# ---------------------------------------------------------------------------
+# runner — serial
+# ---------------------------------------------------------------------------
+
+
+class TestRunnerSerial:
+    def test_happy_path(self):
+        runner = BatchRunner(_double, policy=FAST)
+        outcomes = runner.run([1, 2, 3], parallel=False)
+        assert [o.result for o in outcomes] == [2, 4, 6]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_retry_then_success(self):
+        calls = []
+
+        def flaky(x):
+            calls.append(x)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return x
+
+        runner = BatchRunner(
+            flaky, policy=BatchPolicy(max_retries=2, backoff_s=0.001,
+                                      failure_mode="degrade"))
+        outcomes = runner.run([7], parallel=False)
+        assert outcomes[0].ok
+        assert outcomes[0].attempts == 2
+        assert calls == [7, 7]
+
+    def test_degrade_returns_failed_outcome(self):
+        runner = BatchRunner(_fail_on_negative, policy=FAST)
+        outcomes = runner.run([1, -1, 3], parallel=False)
+        assert [o.state for o in outcomes] == ["ok", "failed", "ok"]
+        failed = outcomes[1]
+        assert failed.attempts == 2  # initial + 1 retry
+        assert "bad input -1" in failed.error
+
+    def test_strict_raises_typed_error(self):
+        runner = BatchRunner(
+            _fail_on_negative,
+            policy=BatchPolicy(max_retries=0, backoff_s=0.001))
+        with pytest.raises(BatchTaskError, match="failed"):
+            runner.run([1, -1, 3], parallel=False)
+
+    def test_on_outcome_sees_completions_before_strict_failure(self):
+        seen = []
+        runner = BatchRunner(
+            _fail_on_negative,
+            policy=BatchPolicy(max_retries=0, backoff_s=0.001),
+            on_outcome=seen.append)
+        with pytest.raises(BatchTaskError):
+            runner.run([1, 2, -1], parallel=False)
+        assert [o.state for o in seen] == ["ok", "ok", "failed"]
+
+    def test_precomputed_skips_execution(self):
+        def explode(x):
+            raise AssertionError("must not run")
+
+        runner = BatchRunner(explode, policy=FAST)
+        outcomes = runner.run([1, 2], parallel=False,
+                              precomputed={0: "a", 1: "b"})
+        assert [o.result for o in outcomes] == ["a", "b"]
+        assert all(o.attempts == 0 for o in outcomes)  # cache marker
+
+    def test_rejects_bad_worker_fn_and_precomputed_range(self):
+        with pytest.raises(BatchError):
+            BatchRunner("not callable")
+        runner = BatchRunner(_double, policy=FAST)
+        with pytest.raises(BatchError):
+            runner.run([1], parallel=False, precomputed={5: "x"})
+
+
+# ---------------------------------------------------------------------------
+# runner — parallel (real forked workers)
+# ---------------------------------------------------------------------------
+
+
+class TestRunnerParallel:
+    def test_happy_path_matches_serial(self):
+        policy = BatchPolicy(processes=2, failure_mode="degrade")
+        parallel = BatchRunner(_double, policy=policy).run(list(range(6)))
+        serial = BatchRunner(_double, policy=policy).run(
+            list(range(6)), parallel=False)
+        assert [o.result for o in parallel] == [o.result for o in serial]
+        assert [o.index for o in parallel] == list(range(6))
+
+    def test_task_exception_retries_cross_process(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        runner = BatchRunner(
+            _touch_then_fail,
+            policy=BatchPolicy(max_retries=1, backoff_s=0.001,
+                               failure_mode="degrade", processes=2))
+        outcomes = runner.run([marker])
+        assert outcomes[0].ok
+        assert outcomes[0].attempts == 2
+        assert outcomes[0].result == "recovered"
+
+    def test_exhausted_retries_fail(self):
+        runner = BatchRunner(
+            _fail_on_negative,
+            policy=BatchPolicy(max_retries=1, backoff_s=0.001,
+                               failure_mode="degrade", processes=2))
+        outcomes = runner.run([1, -1, 3])
+        assert [o.state for o in outcomes] == ["ok", "failed", "ok"]
+        assert outcomes[1].attempts == 2
+
+    def test_sigkilled_worker_is_interrupted_not_retried(self):
+        runner = BatchRunner(
+            _kill_self_on_negative,
+            policy=BatchPolicy(max_retries=3, backoff_s=0.001,
+                               failure_mode="degrade", processes=2))
+        outcomes = runner.run([1, -1, 2, 3])
+        assert [o.state for o in outcomes] == [
+            "ok", "interrupted", "ok", "ok"]
+        interrupted = outcomes[1]
+        assert interrupted.attempts == 1  # never retried
+        assert "died" in interrupted.error
+        assert runner.leaked_workers == 0
+
+    def test_sigkilled_worker_raises_typed_error_in_strict(self):
+        runner = BatchRunner(
+            _kill_self_on_negative,
+            policy=BatchPolicy(max_retries=0, backoff_s=0.001,
+                               processes=2))
+        with pytest.raises(BatchTaskError, match="interrupted"):
+            runner.run([1, -1, 2, 3])
+
+    def test_hung_task_times_out_and_pool_recovers(self):
+        runner = BatchRunner(
+            _hang_on_negative,
+            policy=BatchPolicy(max_retries=0, backoff_s=0.001,
+                               task_timeout_s=0.4, failure_mode="degrade",
+                               processes=2))
+        started = time.monotonic()
+        outcomes = runner.run([1, -1, 2, 3])
+        elapsed = time.monotonic() - started
+        assert [o.state for o in outcomes] == ["ok", "timeout", "ok", "ok"]
+        assert "task_timeout_s" in outcomes[1].error
+        assert elapsed < 10.0  # watchdog, not the 30s sleep
+        assert runner.leaked_workers == 0
+
+    def test_hung_task_raises_timeout_error_in_strict(self):
+        runner = BatchRunner(
+            _hang_on_negative,
+            policy=BatchPolicy(max_retries=0, backoff_s=0.001,
+                               task_timeout_s=0.4, processes=2))
+        with pytest.raises(TaskTimeoutError):
+            runner.run([1, -1, 2, 3])
+
+
+# ---------------------------------------------------------------------------
+# runner — journal + resume
+# ---------------------------------------------------------------------------
+
+
+class TestRunnerResume:
+    def _runner(self, fn, journal, **policy_kwargs):
+        policy = BatchPolicy(max_retries=0, backoff_s=0.001,
+                             failure_mode="degrade", processes=2,
+                             **policy_kwargs)
+        return BatchRunner(fn, policy=policy, journal=journal)
+
+    def test_resume_skips_completed_and_reruns_failures(self, tmp_path):
+        journal = BatchJournal.for_run("r1", root=str(tmp_path))
+        first = self._runner(_fail_on_negative, journal)
+        outcomes = first.run([1, -2, 3])
+        assert [o.state for o in outcomes] == ["ok", "failed", "ok"]
+        # second pass with a healthy worker function resumes the journal
+        journal2 = BatchJournal.for_run("r1", root=str(tmp_path))
+        second = self._runner(_double, journal2)
+        resumed = second.run([1, -2, 3], resume=True)
+        assert second.resumed_tasks == 2  # the two ok tasks prefilled
+        assert [o.state for o in resumed] == ["ok", "ok", "ok"]
+        # prefilled results replay the original payloads, the failed task
+        # ran fresh
+        assert [o.result for o in resumed] == [2, -4, 6]
+        assert [o.attempts for o in resumed] == [1, 1, 1]
+        state = journal2.load()
+        assert state.resumes == 1
+        assert state.completed() == {0, 1, 2}
+        assert state.max_terminal_per_segment == 1
+
+    def test_resume_requires_matching_keys(self, tmp_path):
+        journal = BatchJournal.for_run("r2", root=str(tmp_path))
+        self._runner(_double, journal).run([1, 2])
+        fresh = BatchJournal.for_run("r2", root=str(tmp_path))
+        with pytest.raises(BatchError, match="does not describe"):
+            self._runner(_double, fresh).run([1, 2, 3], resume=True)
+
+    def test_resume_without_journal_is_loud(self):
+        runner = BatchRunner(_double, policy=FAST)
+        with pytest.raises(BatchError, match="resume requires"):
+            runner.run([1], resume=True)
+
+    def test_interrupted_writer_reruns_started_tasks(self, tmp_path):
+        # simulate a SIGKILLed batch: header + one completion + one task
+        # that only ever logged "started"
+        journal = BatchJournal.for_run("r3", root=str(tmp_path))
+        journal.start_run(["task-0", "task-1"],
+                          BatchPolicy(failure_mode="degrade"))
+        journal.task_started(0, "task-0", 1)
+        journal.task_done(BatchOutcome(index=0, key="task-0", label="t0",
+                                       state="ok", attempts=1, result=2),
+                          payload=2)
+        journal.task_started(1, "task-1", 1)  # writer dies here
+        fresh = BatchJournal.for_run("r3", root=str(tmp_path))
+        runner = self._runner(_double, fresh)
+        resumed = runner.run([1, 2], resume=True)
+        assert runner.resumed_tasks == 1
+        assert [o.result for o in resumed] == [2, 4]
+
+    def test_journal_append_failures_do_not_kill_the_batch(self, tmp_path):
+        from repro.faults.injector import FaultInjector, installed
+        from repro.faults.plan import FaultPlan, FaultRule
+
+        journal = BatchJournal.for_run("r4", root=str(tmp_path))
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(point="torn-write", action="torn", rate=1.0),))
+        runner = self._runner(_double, journal)
+        with installed(FaultInjector(plan)):
+            outcomes = runner.run([1, 2, 3], parallel=False)
+        assert [o.result for o in outcomes] == [2, 4, 6]
+        assert runner.journal_errors  # every append tore, all recorded
+        # the journal healed itself: still loadable
+        BatchJournal.for_run("r4", root=str(tmp_path)).load()
+
+
+# ---------------------------------------------------------------------------
+# entry points: Sweep.run and run_experiments
+# ---------------------------------------------------------------------------
+
+
+class TestSweepBatch:
+    def _sweep(self, systems=("Disagg", "PreSto")):
+        return Sweep.grid(models=["RM1"], systems=list(systems),
+                          num_gpus=[8], num_batches=10)
+
+    @pytest.mark.parametrize("processes", [0, -1])
+    def test_rejects_non_positive_processes(self, processes):
+        with pytest.raises(ConfigurationError):
+            self._sweep().run(processes=processes)
+
+    def test_oversized_processes_clamps_and_completes(self):
+        results = self._sweep().run(parallel=True, processes=32)
+        assert len(results) == 2
+
+    def test_parallel_matches_serial(self):
+        sweep = self._sweep()
+        serial = sweep.run(parallel=False)
+        parallel = sweep.run(parallel=True, processes=2)
+        assert [r.to_dict() for r in parallel] == [
+            r.to_dict() for r in serial]
+
+    def test_degrade_returns_outcomes(self):
+        outcomes = self._sweep().run(parallel=False,
+                                     failure_mode="degrade")
+        assert all(isinstance(o, BatchOutcome) for o in outcomes)
+        assert all(o.ok for o in outcomes)
+        assert all(o.result.to_dict() for o in outcomes)
+
+    def test_journaled_sweep_resumes(self, tmp_path):
+        sweep = self._sweep()
+        journal = BatchJournal.for_run("sw", root=str(tmp_path))
+        first = sweep.run(parallel=False, journal=journal)
+        fresh = BatchJournal.for_run("sw", root=str(tmp_path))
+        resumed = sweep.run(parallel=False, journal=fresh, resume=True)
+        assert [r.to_dict() for r in resumed] == [
+            r.to_dict() for r in first]
+
+
+class TestRunExperimentsBatch:
+    @pytest.mark.parametrize("processes", [0, -3])
+    def test_rejects_non_positive_processes(self, processes):
+        with pytest.raises(ConfigurationError):
+            run_experiments([ExperimentRun("table1")], parallel=True,
+                            processes=processes)
+
+    def test_strict_failure_still_caches_completed(self, tmp_path):
+        """The satellite fix: a later task failing strict no longer
+        discards results already computed — they land in the store as
+        they finish."""
+        from repro.api import register_experiment
+        from repro.api.experiment import EXPERIMENT_REGISTRY
+        from repro.experiments.table1_models import Table1Result
+
+        @register_experiment("_batch_test_boom", title="_Batch Test Boom",
+                             kind="ablation", order=99_999)
+        def _boom() -> Table1Result:
+            raise RuntimeError("boom")
+
+        try:
+            store = RunStore(tmp_path)
+            runs = [ExperimentRun("table1"),
+                    ExperimentRun("_batch_test_boom")]
+            with pytest.raises(BatchTaskError):
+                run_experiments(
+                    runs, store=store,
+                    policy=BatchPolicy(max_retries=0, backoff_s=0.001))
+            # the completed first task was cached despite the batch dying
+            assert store.load(ExperimentRun("table1")) is not None
+        finally:
+            EXPERIMENT_REGISTRY.unregister("_batch_test_boom")
+
+    def test_degrade_marks_failures_in_partial_report(self):
+        from repro.api import register_experiment
+        from repro.api.experiment import EXPERIMENT_REGISTRY
+        from repro.experiments import report as report_mod
+        from repro.experiments.table1_models import Table1Result
+
+        @register_experiment("_batch_test_flaky", title="_Batch Test Flaky",
+                             kind="ablation", order=99_999)
+        def _flaky() -> Table1Result:
+            raise RuntimeError("flaky")
+
+        try:
+            results = report_mod.run_all(
+                kinds=["ablation"], failure_mode="degrade",
+                policy=BatchPolicy(max_retries=0, backoff_s=0.001,
+                                   failure_mode="degrade"))
+            marker = results["_Batch Test Flaky"]
+            assert isinstance(marker, report_mod.ExperimentFailure)
+            assert marker.claims() == []
+            assert "FAILED" in marker.render().upper()
+            rendered = report_mod.render_report(results)
+            assert "_Batch Test Flaky" in rendered
+        finally:
+            EXPERIMENT_REGISTRY.unregister("_batch_test_flaky")
+
+    def test_cached_results_replay_through_batch_tier(self, tmp_path):
+        store = RunStore(tmp_path)
+        runs = [ExperimentRun("table1")]
+        first = run_experiments(runs, store=store)
+        again = run_experiments(runs, store=store)
+        assert first[0].to_dict() == again[0].to_dict()
+
+
+# ---------------------------------------------------------------------------
+# chaos --tier batch
+# ---------------------------------------------------------------------------
+
+
+class TestChaosBatch:
+    def test_batch_matrix_holds_invariants(self, tmp_path):
+        from repro.faults.chaos import check_report, run_chaos
+
+        report = run_chaos(
+            ("worker-crash", "torn-write"), seed=7, tier="batch",
+            spool_root=str(tmp_path), num_jobs=4, rows=64, shards=1,
+            workers=2, job_timeout_s=5.0)
+        assert report["tier"] == "batch"
+        check_report(report)  # raises on any violated invariant
+        assert report["ok"]
+        by_fault = {ep["fault"]: ep for ep in report["episodes"]}
+        # the fault-free resume pass converged on all-ok
+        for ep in report["episodes"]:
+            assert ep["resumed_states"] == {"ok": 4}
+        assert by_fault["torn-write"]["index_errors"] > 0
+
+    def test_task_hang_episode_times_out_and_recovers(self, tmp_path):
+        from repro.faults.chaos import run_batch_episode
+
+        episode = run_batch_episode(
+            "task-hang", seed=7, spool_dir=str(tmp_path), num_jobs=3,
+            rows=64, shards=1, workers=2, job_timeout_s=1.0)
+        assert episode["violations"] == []
+        assert episode["resumed_states"] == {"ok": 3}
+
+    def test_unknown_tier_is_rejected(self):
+        from repro.faults.chaos import run_chaos
+
+        with pytest.raises(ConfigurationError):
+            run_chaos(tier="cloud")
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCliSurface:
+    def test_parser_accepts_batch_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["report", "--parallel", "--run-id", "smoke",
+             "--failure-mode", "degrade"])
+        assert args.run_id == "smoke"
+        assert args.failure_mode == "degrade"
+        args = parser.parse_args(["report", "--resume", "smoke"])
+        assert args.resume == "smoke"
+        args = parser.parse_args(
+            ["sweep", "--failure-mode", "degrade", "--task-timeout", "5",
+             "--max-retries", "2", "--run-id", "sw"])
+        assert args.task_timeout == 5.0
+        assert args.max_retries == 2
+        args = parser.parse_args(["chaos", "--tier", "batch"])
+        assert args.tier == "batch"
+
+    def test_bad_run_id_exits_loudly(self, tmp_path):
+        from repro.cli import main as cli_main
+
+        with pytest.raises(SystemExit, match="run id"):
+            cli_main(["report", "--run-id", "../escape",
+                      "--cache-dir", str(tmp_path)])
+
+
+class TestSigkillResume:
+    """The acceptance scenario: SIGKILL ``repro report --parallel``
+    mid-run, resume it, and the resumed JSON output must be
+    byte-identical to an uninterrupted run."""
+
+    def _run_cli(self, args, cache_dir, **popen_kwargs):
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli"] + args,
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            **popen_kwargs)
+
+    def test_sigkilled_report_resumes_byte_identical(self, tmp_path):
+        base = ["report", "--parallel", "--only", "figures", "--json"]
+        # reference: uninterrupted run in its own cache
+        ref_proc = self._run_cli(base, tmp_path / "ref")
+        ref_out, ref_err = ref_proc.communicate(timeout=300)
+        assert ref_proc.returncode == 0, ref_err.decode()
+
+        # journaled run, SIGKILLed once real work is in flight
+        victim = self._run_cli(base + ["--run-id", "smoke"],
+                               tmp_path / "vic", start_new_session=True)
+        journal_path = tmp_path / "vic" / "batch" / "smoke.jsonl"
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline and victim.poll() is None:
+            try:
+                if journal_path.read_text().count('"started"') >= 2:
+                    break
+            except OSError:
+                pass
+            time.sleep(0.02)
+        if victim.poll() is None:
+            os.killpg(victim.pid, signal.SIGKILL)
+        victim.communicate(timeout=60)
+
+        resume = self._run_cli(base + ["--resume", "smoke"],
+                               tmp_path / "vic")
+        res_out, res_err = resume.communicate(timeout=300)
+        assert resume.returncode == 0, res_err.decode()
+        assert res_out == ref_out  # byte-identical claims payload
