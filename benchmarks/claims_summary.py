@@ -2,18 +2,32 @@
 
 CI runs a fast registry-driven subset of the report, pipes the JSON here,
 and appends the output to ``$GITHUB_STEP_SUMMARY`` — a per-run record of
-which paper claims hold, next to the perf trend.  Report-only: exit code is
-always 0; the test suite, not CI formatting, gates claim regressions.
+which paper claims hold, next to the perf trend.  With ``--journal`` the
+run's batch journal (the authoritative per-experiment timing record) is
+rendered as a second table through :mod:`repro.telemetry`, so the summary
+also says how long each experiment took and how hard it was retried.
+Report-only: exit code is always 0 when inputs parse; the test suite, not
+CI formatting, gates claim regressions.
 
 Usage:
     python benchmarks/claims_summary.py report.json
+    python benchmarks/claims_summary.py report.json --journal run.jsonl
     python -m repro.cli report --json | python benchmarks/claims_summary.py -
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
+from typing import List, Optional
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"
+))
+
+from repro import telemetry  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
 
 
 def render(payload: dict) -> str:
@@ -43,16 +57,53 @@ def render(payload: dict) -> str:
     return "\n".join(lines)
 
 
-def main(argv: list) -> int:
-    if len(argv) != 2:
+def render_timings(journal_path: str) -> str:
+    """Per-experiment timing table from the run's batch journal."""
+    events = telemetry.events_from_batch_journal(journal_path)
+    lines = [
+        "### Experiment timings (from the run journal)",
+        "",
+        "| experiment | outcome | attempts | elapsed | cached |",
+        "| --- | :---: | ---: | ---: | :---: |",
+    ]
+    for event in sorted(events, key=lambda e: e.task):
+        elapsed = "—" if event.elapsed_s is None else f"{event.elapsed_s:.3f}s"
+        mark = "✅" if event.outcome == "ok" else f"❌ {event.outcome}"
+        lines.append(
+            f"| {event.task} | {mark} | {event.attempts} | {elapsed} "
+            f"| {'cache' if event.cached else '—'} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    args = list(argv[1:])
+    journal: Optional[str] = None
+    if "--journal" in args:
+        at = args.index("--journal")
+        try:
+            journal = args[at + 1]
+        except IndexError:
+            print("--journal requires a path", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 2
-    if argv[1] == "-":
+    if args[0] == "-":
         payload = json.load(sys.stdin)
     else:
-        with open(argv[1]) as handle:
+        with open(args[0]) as handle:
             payload = json.load(handle)
     print(render(payload))
+    if journal is not None:
+        try:
+            print(render_timings(journal))
+        except ReproError as exc:
+            print(f"claims-summary: cannot read journal: {exc}",
+                  file=sys.stderr)
+            return 2
     return 0
 
 

@@ -5,38 +5,47 @@ Usage::
 
     python benchmarks/perf_trend.py BASELINE.json CURRENT.json
 
-Prints a GitHub-flavoured markdown table comparing ``ns_per_element`` for
-every (op, variant) present in both reports — CI appends it to
-``$GITHUB_STEP_SUMMARY`` after the ``bench --quick`` smoke run.  This is a
-*report*, not a gate: shared runners are noisy and quick mode uses smaller
-inputs than the committed full-mode baseline, so deltas show the trend,
-not a pass/fail verdict.  Exit status is 0 whenever both reports parse.
+A thin wrapper over :mod:`repro.telemetry`: both reports are flattened to
+timing events, summarized, and run through the same direction-aware
+comparison the ``repro trend`` CLI gates on — one comparison engine, two
+surfaces.  Prints the GitHub-flavoured markdown table CI appends to
+``$GITHUB_STEP_SUMMARY`` after the ``bench --quick`` smoke run, comparing
+``ns_per_element`` for every (op, variant).  This is a *report*, not a
+gate: shared runners are noisy and quick mode uses smaller inputs than
+the committed full-mode baseline, so deltas show the trend, not a
+pass/fail verdict.  Exit status is 0 whenever both reports parse.
 """
 
 from __future__ import annotations
 
-import json
+import os
 import sys
-from typing import Dict, Tuple
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"
+))
+
+from repro import telemetry  # noqa: E402
+from repro.errors import TelemetryError  # noqa: E402
 
 #: |delta| below this is runner noise; flagged with an em dash, not an arrow
 NOISE_BAND = 0.15
 
-
-def load(path: str) -> Tuple[Dict[Tuple[str, str], dict], dict]:
-    with open(path) as handle:
-        report = json.load(handle)
-    return {
-        (entry["op"], entry["variant"]): entry for entry in report["results"]
-    }, report
+#: the machine-portable trajectory metric the table tracks
+METRIC = "ns_per_element"
 
 
-def direction(ratio: float) -> str:
-    if ratio <= 1.0 - NOISE_BAND:
-        return "faster ⬇"
-    if ratio >= 1.0 + NOISE_BAND:
-        return "slower ⬆"
-    return "—"
+def _summary(path: str, run_id: str) -> telemetry.RunSummary:
+    """One report's ``ns_per_element`` samples (other metrics dropped so
+    the table stays one row per kernel, like it always was)."""
+    events = telemetry.events_from_bench_report(path, run_id=run_id)
+    summary = telemetry.summarize_events(events, run_id=run_id,
+                                         recorded_at=0.0)
+    return telemetry.RunSummary(
+        run_id=summary.run_id,
+        recorded_at=summary.recorded_at,
+        samples=tuple(s for s in summary.samples if s.metric == METRIC),
+    )
 
 
 def main(argv) -> int:
@@ -44,46 +53,50 @@ def main(argv) -> int:
         print(__doc__)
         return 2
     try:
-        baseline, baseline_report = load(argv[1])
-        current, current_report = load(argv[2])
-    except (OSError, ValueError, KeyError) as exc:
+        baseline = _summary(argv[1], "baseline")
+        current = _summary(argv[2], "current")
+    except TelemetryError as exc:
         print(f"perf-trend: cannot read reports: {exc}", file=sys.stderr)
         return 2
-
-    base_mode = "quick" if baseline_report.get("quick") else "full"
-    cur_mode = "quick" if current_report.get("quick") else "full"
+    comparison = telemetry.compare_summaries(
+        current,
+        [baseline],
+        thresholds={METRIC: 1.0 + NOISE_BAND},
+    )
     print("### Kernel perf trend")
     print()
     print(
-        f"ns/element, current **{cur_mode}** run vs committed "
-        f"**{base_mode}** baseline ({argv[1]}). Report-only — runners are "
-        f"noisy and modes use different input sizes; |Δ| under "
-        f"{NOISE_BAND:.0%} is within the noise band."
+        f"ns/element, current run vs committed baseline ({argv[1]}). "
+        f"Report-only — runners are noisy and modes use different input "
+        f"sizes; |Δ| under {NOISE_BAND:.0%} is within the noise band."
     )
     print()
     print("| op | variant | baseline ns/el | current ns/el | ratio | trend |")
     print("|---|---|---:|---:|---:|---|")
-    shared = [key for key in current if key in baseline]
-    for op, variant in shared:
-        base_ns = baseline[(op, variant)]["ns_per_element"]
-        cur_ns = current[(op, variant)]["ns_per_element"]
-        ratio = cur_ns / base_ns if base_ns else float("inf")
+    marks = {"regression": "slower ⬆", "improvement": "faster ⬇",
+             "within": "—"}
+    new, missing = [], []
+    for delta in comparison.deltas:
+        name = f"`{delta.task}/{delta.stage}`"
+        if delta.status == "new":
+            new.append(name)
+            continue
+        if delta.status == "missing":
+            missing.append(name)
+            continue
         print(
-            f"| {op} | {variant} | {base_ns:,.1f} | {cur_ns:,.1f} "
-            f"| {ratio:.2f}x | {direction(ratio)} |"
+            f"| {delta.task} | {delta.stage} | {delta.baseline:,.1f} "
+            f"| {delta.current:,.1f} | {delta.ratio:.2f}x "
+            f"| {marks[delta.status]} |"
         )
-    new_keys = [key for key in current if key not in baseline]
-    if new_keys:
+    if new:
         print()
-        names = ", ".join(f"`{op}/{variant}`" for op, variant in new_keys)
-        print(f"New since baseline (no comparison): {names}")
-    missing_keys = [key for key in baseline if key not in current]
-    if missing_keys:
+        print(f"New since baseline (no comparison): {', '.join(new)}")
+    if missing:
         print()
-        names = ", ".join(f"`{op}/{variant}`" for op, variant in missing_keys)
         print(
             f"**Missing from this run** (present in baseline — did a bench "
-            f"section disappear?): {names}"
+            f"section disappear?): {', '.join(missing)}"
         )
     return 0
 

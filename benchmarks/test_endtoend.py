@@ -5,7 +5,6 @@ designs and verifies that the provisioned pipelines keep the GPUs busy —
 the paper's system-level success criterion.
 """
 
-import pytest
 
 from repro.core.cpu_worker import CpuPreprocessingWorker
 from repro.core.endtoend import EndToEndSimulation

@@ -132,14 +132,23 @@ class BatchJournal:
     def task_done(self, outcome: BatchOutcome,
                   payload: Any = None) -> None:
         """Append one task's terminal line (``ok`` carries the encoded
-        result payload so resume can replay it without re-running)."""
+        result payload so resume can replay it without re-running).
+
+        The line stamps timing consistently for the telemetry tier:
+        ``elapsed_s`` is always a float (never null — BatchOutcome
+        enforces it), ``label`` names the experiment the way humans and
+        trend comparison do, and ``cached`` marks cache-prefilled
+        completions whose 0.0 stamp is bookkeeping, not a measurement.
+        """
         line = {
             "type": "task",
             "index": outcome.index,
             "key": outcome.key,
+            "label": outcome.label,
             "status": outcome.state,
             "attempts": outcome.attempts,
-            "elapsed_s": outcome.elapsed_s,
+            "elapsed_s": float(outcome.elapsed_s),
+            "cached": outcome.cached,
             "error": outcome.error,
             "at": time.time(),
         }

@@ -54,6 +54,16 @@ class BatchOutcome:
             raise BatchError(
                 f"attempts must be a non-negative int, got {self.attempts!r}"
             )
+        if (
+            not isinstance(self.elapsed_s, (int, float))
+            or isinstance(self.elapsed_s, bool)
+            or self.elapsed_s < 0
+        ):
+            raise BatchError(
+                f"elapsed_s must be a non-negative number, "
+                f"got {self.elapsed_s!r}"
+            )
+        object.__setattr__(self, "elapsed_s", float(self.elapsed_s))
         if self.state != "ok" and not self.error:
             raise BatchError(
                 f"{self.state} outcomes must include error details"
@@ -62,6 +72,13 @@ class BatchOutcome:
     @property
     def ok(self) -> bool:
         return self.state == "ok"
+
+    @property
+    def cached(self) -> bool:
+        """The result came from a cache (RunStore hit or journal replay),
+        not from running the task — its ``elapsed_s`` is a bookkeeping
+        stamp, never a measurement."""
+        return self.attempts == 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form for reports and journals.

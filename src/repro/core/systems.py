@@ -119,7 +119,6 @@ class CoLocatedCpuSystem(PreprocessingSystem):
         """Co-location cannot elastically allocate workers: the budget is
         fixed at ``max_cores_per_gpu``.  Raises when even the full budget
         cannot sustain the training demand (the Fig. 3 situation)."""
-        from repro.core.provision import provision as _provision
         from repro.training.gpu import GpuTrainingModel
 
         per_gpu_demand = GpuTrainingModel(self.cal).max_training_throughput(self.spec)

@@ -16,7 +16,7 @@ with the right timing.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, Optional
+from typing import Dict
 
 from repro.errors import ConfigurationError
 from repro.features.specs import ModelSpec

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 

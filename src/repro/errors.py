@@ -104,3 +104,8 @@ class FaultError(ReproError):
 class ChaosError(ReproError):
     """A chaos run violated a service invariant (jobs not terminal,
     digest divergence, duplicate completions, or leaked workers)."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry source could not be read or a trend comparison was
+    ill-posed (unknown metric, empty store, malformed run summary)."""

@@ -19,7 +19,7 @@ the same null handling TorchArrow's DLRM recipe applies.
 from __future__ import annotations
 
 import io
-from typing import Iterable, Iterator, List, TextIO, Tuple, Union
+from typing import Iterable, List, TextIO, Tuple, Union
 
 import numpy as np
 

@@ -24,8 +24,8 @@ check the warehouse output is schema-valid and preprocessable.
 from __future__ import annotations
 
 import collections
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 

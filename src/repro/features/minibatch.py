@@ -11,7 +11,7 @@ These containers are plain numpy so they double as the reproduction's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np

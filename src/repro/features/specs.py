@@ -13,7 +13,7 @@ production-scale configurations based on Meta's published characteristics
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.dataio.schema import TableSchema

@@ -26,7 +26,7 @@ only by the Figure 6 characterization live in :mod:`repro.hardware.cache`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.features.specs import ModelSpec
 from repro.units import GBPS, GB_PER_S, MHZ

@@ -13,7 +13,7 @@ CapacityError` if a configuration does not fit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.errors import CapacityError
 from repro.hardware.calibration import CALIBRATION, Calibration

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple

@@ -12,10 +12,10 @@ Both expose *yieldable request objects* implementing the engine's
 from __future__ import annotations
 
 import collections
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.engine import Engine, Process, Timeout
+from repro.sim.engine import Engine, Process
 
 
 class _ServerRequest:

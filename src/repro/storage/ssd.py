@@ -10,10 +10,10 @@ and the functional layer can actually read bytes back.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.errors import CapacityError, ConfigurationError
-from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.hardware.calibration import CALIBRATION
 from repro.units import GIB
 
 

@@ -11,7 +11,7 @@ training time over wall time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.features.specs import ModelSpec
 from repro.hardware.calibration import CALIBRATION, Calibration

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.cost import CostBreakdown, cost_breakdown, cost_efficiency, opex
+from repro.analysis.cost import cost_breakdown, cost_efficiency, opex
 from repro.analysis.energy import energy_efficiency, preprocessing_energy_per_epoch
 from repro.analysis.metrics import (
     arithmetic_mean,

@@ -10,7 +10,7 @@ import pytest
 
 from repro.api import PreprocessJob
 from repro.core.cpu_worker import CpuPreprocessingWorker
-from repro.dataio.columnar import ColumnarFileReader, write_table
+from repro.dataio.columnar import ColumnarFileReader
 from repro.dataio.partition import RowPartitioner
 from repro.errors import EncodingError, FormatError, ReproError
 from repro.features.specs import get_model

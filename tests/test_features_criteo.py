@@ -7,7 +7,6 @@ import pytest
 
 from repro.errors import FormatError
 from repro.features.criteo import (
-    FIELDS_PER_LINE,
     dump_criteo_tsv,
     load_criteo_tsv,
     parse_line,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.features.specs import all_models, get_model
 from repro.hardware.accelerator import AcceleratorModel
-from repro.hardware.calibration import CALIBRATION
 from repro.hardware.cpu import CpuCoreModel
 
 

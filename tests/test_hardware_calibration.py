@@ -1,7 +1,6 @@
 """Tests for the calibration constants, including validation of the
 analytic byte model against the real columnar writer."""
 
-import numpy as np
 import pytest
 
 from repro.dataio.columnar import write_table

@@ -10,7 +10,6 @@ from repro.hardware.fpga import (
     SMARTSSD_FPGA,
     U280_FPGA,
     UNIT_ORDER,
-    UnitResources,
     fits,
     max_lane_scale,
     resource_table,

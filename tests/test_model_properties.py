@@ -11,7 +11,6 @@ from hypothesis import strategies as st
 from repro.core.provision import workers_for
 from repro.features.specs import MLPSpec, ModelSpec
 from repro.hardware.accelerator import AcceleratorModel
-from repro.hardware.calibration import CALIBRATION
 from repro.hardware.cpu import CpuCoreModel
 from repro.training.gpu import GpuTrainingModel
 

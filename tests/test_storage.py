@@ -1,6 +1,5 @@
 """Tests for SSD/SmartSSD devices, nodes, and the distributed cluster."""
 
-import numpy as np
 import pytest
 
 from repro.dataio.partition import RowPartitioner
