@@ -66,6 +66,57 @@ def cost_breakdown(
     )
 
 
+@dataclass(frozen=True)
+class CapacityCost:
+    """Cost of an *elastic* deployment: capex at peak, opex by the ledger.
+
+    The static :class:`CostBreakdown` prices a fixed worker count over a
+    fixed window.  A fleet pool instead grows and shrinks, so its opex
+    follows the *measured* energy (the simulator integrates
+    ``power(capacity) x dt`` step by step) while its capex is the peak
+    capacity it ever had to own.  ``capacity_hours`` (worker-hours
+    provisioned) is the denominator for per-capacity-hour rates.
+    """
+
+    capex: float  # dollars, priced at peak capacity
+    opex: float  # dollars, electricity for the metered energy
+    energy_kwh: float
+    capacity_hours: float  # worker-hours provisioned over the run
+
+    @property
+    def total(self) -> float:
+        """CapEx + OpEx (dollars)."""
+        return self.capex + self.opex
+
+    @property
+    def per_capacity_hour(self) -> float:
+        """Dollars per provisioned worker-hour (0 for an empty ledger)."""
+        if self.capacity_hours <= 0:
+            return 0.0
+        return self.total / self.capacity_hours
+
+
+def capacity_cost(
+    peak_capex: float,
+    energy_kwh: float,
+    capacity_hours: float,
+    calibration: Calibration = CALIBRATION,
+) -> CapacityCost:
+    """Price one pool's capacity ledger (fleet-simulation accounting)."""
+    if peak_capex < 0:
+        raise ConfigurationError("peak capex must be non-negative")
+    if energy_kwh < 0:
+        raise ConfigurationError("energy must be non-negative")
+    if capacity_hours < 0:
+        raise ConfigurationError("capacity hours must be non-negative")
+    return CapacityCost(
+        capex=peak_capex,
+        opex=energy_kwh * calibration.electricity_per_kwh,
+        energy_kwh=energy_kwh,
+        capacity_hours=capacity_hours,
+    )
+
+
 def cost_efficiency(
     throughput: float,
     capex: float,

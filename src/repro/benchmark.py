@@ -681,6 +681,66 @@ def bench_batch(size: int, reps: int, seed: int) -> List[BenchResult]:
     return results
 
 
+def bench_fleet(size: int, reps: int, seed: int) -> List[BenchResult]:
+    """Fleet tier: seeded trace generation and the scheduler step loop."""
+    from repro.fleet import PoolSpec, generate_trace
+    from repro.fleet.simulator import FleetSimulator
+
+    # arrivals/s of the seeded generator (dominated by the rng draws and
+    # the dataclass validation per arrival)
+    num_arrivals = max(size // 10, 1_000)
+
+    def gen():
+        return generate_trace("diurnal", num_jobs=num_arrivals, seed=seed)
+
+    trace_bytes = len(gen().to_jsonl().encode())
+    results = [
+        _result(
+            "trace_gen", "vectorized", num_arrivals, trace_bytes,
+            _best_of(gen, reps),
+        )
+    ]
+
+    # events/s of the simulator: time-step ticks plus one arrival and one
+    # completion event per job, on a small heterogeneous fleet
+    num_jobs = max(size // 2_000, 25)
+    trace = generate_trace(
+        "diurnal",
+        num_jobs=num_jobs,
+        seed=seed + 1,
+        horizon_s=6 * 3600.0,
+        mean_duration_s=1200.0,
+    )
+    pools = (
+        PoolSpec(
+            name="disagg-cpu", system="Disagg", nodes=48,
+            workers_per_node=32, min_nodes=16, max_nodes=96,
+            scaleup_latency_s=120.0,
+        ),
+        PoolSpec(
+            name="presto-ssd", system="PreSto", nodes=8, workers_per_node=8,
+            min_nodes=4, max_nodes=32, scaleup_latency_s=120.0,
+        ),
+    )
+
+    def run():
+        simulator = FleetSimulator(
+            trace, pools=pools, policy="best-fit",
+            autoscaler="target-utilization",
+        )
+        return simulator.run()
+
+    outcome = run()
+    steps = int(outcome.makespan_s // 60.0) + 1
+    events = steps + 2 * outcome.num_jobs
+    elapsed = _best_of(run, max(1, reps // 2))
+    # an "element" is one simulator event; payload is the heap-entry traffic
+    results.append(
+        _result("fleet_step", "vectorized", events, events * 48, elapsed)
+    )
+    return results
+
+
 def bench_ops(size: int, reps: int, rng: np.random.Generator) -> List[BenchResult]:
     """The numpy preprocessing kernels the Transform phase is built from."""
     from repro.ops.bucketize import bucketize
@@ -727,6 +787,7 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> Dict[str, object]:
     results += bench_serve(min(size, 200_000), reps, seed + 7)
     results += bench_faults(min(size, 200_000), reps, seed + 8)
     results += bench_batch(min(size, 200_000), reps, seed + 9)
+    results += bench_fleet(min(size, 200_000), reps, seed + 10)
     return {
         "schema_version": _SCHEMA_VERSION,
         "quick": quick,

@@ -812,11 +812,187 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+#: default per-node/per-arrival fire rates for ``repro fleet run --faults``
+_FLEET_FAULT_RATES = {
+    "node-down": 0.01,
+    "slow-node": 0.05,
+    "arrival-burst": 0.03,
+}
+
+
+def _fleet_injector(faults: str, seed: int):
+    """A fresh :class:`FaultInjector` for a comma-separated fault list."""
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan, FaultRule
+
+    rules = []
+    for fault in (f.strip() for f in faults.split(",")):
+        if not fault:
+            continue
+        if fault not in _FLEET_FAULT_RATES:
+            raise SystemExit(
+                f"unknown fleet fault {fault!r}; known: "
+                f"{', '.join(sorted(_FLEET_FAULT_RATES))}"
+            )
+        rules.append(FaultRule(
+            point=fault,
+            rate=_FLEET_FAULT_RATES[fault],
+            delay_s=300.0 if fault == "slow-node" else None,
+        ))
+    if not rules:
+        return None
+    return FaultInjector(FaultPlan(seed=seed, rules=tuple(rules)))
+
+
+def _fleet_trace(args: argparse.Namespace):
+    """The arrival trace a fleet subcommand runs: loaded from ``--trace``
+    when given, else generated from the seeded ``--kind`` parameters."""
+    from repro.fleet import Trace, generate_trace
+
+    if getattr(args, "trace", None):
+        return Trace.load(args.trace)
+    return generate_trace(
+        args.kind,
+        num_jobs=args.jobs,
+        seed=args.seed,
+        horizon_s=args.horizon,
+        mean_duration_s=args.mean_duration,
+    )
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    """Run one trace through the fleet simulator; print or save the result."""
+    from repro.fleet import run_fleet
+
+    try:
+        trace = _fleet_trace(args)
+        injector = (
+            _fleet_injector(args.faults, args.fault_seed)
+            if args.faults else None
+        )
+        result = run_fleet(
+            trace,
+            policy=args.policy,
+            autoscaler=args.autoscale,
+            injector=injector,
+            slo_queue_s=args.slo,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"fleet run: {result.num_jobs} jobs ({result.trace_kind} trace, "
+        f"seed {result.trace_seed}), policy {result.policy}, "
+        f"autoscaler {result.autoscaler}"
+    )
+    print(
+        f"  completed {result.completed}  rejected {result.rejected}  "
+        f"displacements {result.displacements}  "
+        f"reschedules {result.reschedules}"
+    )
+    print(
+        f"  makespan {result.makespan_s:.0f}s  "
+        f"queue mean/p95 {result.mean_queue_s:.0f}/"
+        f"{result.p95_queue_s:.0f}s  "
+        f"SLO {result.slo_attainment:.3f}  util {result.utilization:.3f}  "
+        f"cost ${result.total_cost:,.0f}"
+    )
+    for pool in result.pools:
+        print(
+            f"  pool {pool.name} ({pool.system}): peak {pool.peak_nodes} "
+            f"nodes  completed {pool.jobs_completed}  "
+            f"failures {pool.node_failures}  "
+            f"energy {pool.energy_kwh:.1f} kWh  util {pool.utilization:.3f}"
+        )
+    if result.fault_fires:
+        fires = ", ".join(
+            f"{point}={count}"
+            for point, count in sorted(result.fault_fires.items())
+        )
+        print(f"  fault fires: {fires}")
+    print(f"  digest {result.digest}")
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_fleet_trace_gen(args: argparse.Namespace) -> int:
+    """Generate a seeded arrival trace and write it as replayable JSONL."""
+    try:
+        trace = _fleet_trace(args)
+        trace.save(args.out)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps({
+            "kind": trace.kind,
+            "seed": trace.seed,
+            "jobs": len(trace),
+            "horizon_s": trace.horizon_s,
+            "path": args.out,
+        }, indent=2, sort_keys=True))
+    else:
+        print(
+            f"wrote {len(trace)} arrivals ({trace.kind} trace, seed "
+            f"{trace.seed}, horizon {trace.horizon_s:.0f}s) -> {args.out}"
+        )
+    return 0
+
+
+def cmd_fleet_trace_replay(args: argparse.Namespace) -> int:
+    """Load a trace file, prove it re-serializes byte-identically, and
+    summarize it; exits 1 when the round-trip diverges."""
+    from repro.fleet import Trace
+
+    try:
+        with open(args.path) as handle:
+            original = handle.read()
+        trace = Trace.load(args.path)
+    except (OSError, ReproError) as exc:
+        raise SystemExit(str(exc))
+    identical = trace.to_jsonl() == original
+    by_model: Dict[str, int] = {}
+    for arrival in trace.arrivals:
+        by_model[arrival.model] = by_model.get(arrival.model, 0) + 1
+    payload = {
+        "path": args.path,
+        "kind": trace.kind,
+        "seed": trace.seed,
+        "jobs": len(trace),
+        "horizon_s": trace.horizon_s,
+        "models": by_model,
+        "byte_identical": identical,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        models = ", ".join(
+            f"{model}x{count}" for model, count in sorted(by_model.items())
+        )
+        print(
+            f"{args.path}: {len(trace)} arrivals ({trace.kind} trace, seed "
+            f"{trace.seed}), models {models}"
+        )
+        print(
+            "round-trip byte-identical"
+            if identical
+            else "ROUND-TRIP DIVERGED: re-serialized JSONL differs"
+        )
+    return 0 if identical else 1
+
+
 def _trend_sources(args: argparse.Namespace):
-    """``(batch_journals, serve_indexes, bench_reports)`` path tuples from
-    the repeatable ``--batch-journal``/``--batch-run``/``--serve-index``/
-    ``--bench-report`` flags (``--batch-run`` resolves a run id to its
-    journal under the default store root / ``$REPRO_CACHE_DIR``)."""
+    """``(batch_journals, serve_indexes, bench_reports, fleet_results)``
+    path tuples from the repeatable ``--batch-journal``/``--batch-run``/
+    ``--serve-index``/``--bench-report``/``--fleet-result`` flags
+    (``--batch-run`` resolves a run id to its journal under the default
+    store root / ``$REPRO_CACHE_DIR``)."""
     from repro.batch import BatchJournal
 
     batch = list(getattr(args, "batch_journal", None) or ())
@@ -827,21 +1003,23 @@ def _trend_sources(args: argparse.Namespace):
             raise SystemExit(str(exc))
     serve = tuple(getattr(args, "serve_index", None) or ())
     bench = tuple(getattr(args, "bench_report", None) or ())
-    return tuple(batch), serve, bench
+    fleet = tuple(getattr(args, "fleet_result", None) or ())
+    return tuple(batch), serve, bench, fleet
 
 
 def _trend_summary_from_sources(args: argparse.Namespace):
     """Build the current run's summary from the source flags."""
     from repro import telemetry
 
-    batch, serve, bench = _trend_sources(args)
-    if not (batch or serve or bench):
+    batch, serve, bench, fleet = _trend_sources(args)
+    if not (batch or serve or bench or fleet):
         raise SystemExit(
             "no telemetry sources: pass --batch-journal/--batch-run, "
-            "--serve-index, and/or --bench-report"
+            "--serve-index, --bench-report, and/or --fleet-result"
         )
     events = telemetry.collect_events(
         batch_journals=batch, serve_indexes=serve, bench_reports=bench,
+        fleet_results=fleet,
     )
     meta = {}
     for pair in getattr(args, "meta", None) or ():
@@ -900,8 +1078,8 @@ def cmd_trend_compare(args: argparse.Namespace) -> int:
 
     store = telemetry.TrendStore(args.store)
     try:
-        batch, serve, bench = _trend_sources(args)
-        if batch or serve or bench:
+        batch, serve, bench, fleet = _trend_sources(args)
+        if batch or serve or bench or fleet:
             current = _trend_summary_from_sources(args)
         else:
             current = store.load(args.run_id)
@@ -1247,9 +1425,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--faults", default=None,
                        help="comma-separated fault classes (default: the "
                             "tier's fault matrix)")
-    chaos.add_argument("--tier", choices=("serve", "batch"), default="serve",
-                       help="which tier to attack: the streaming service "
-                            "or the batch runner (default serve)")
+    chaos.add_argument("--tier", choices=("serve", "batch", "fleet"),
+                       default="serve",
+                       help="which tier to attack: the streaming service, "
+                            "the batch runner, or the simulated fleet "
+                            "(default serve)")
     chaos.add_argument("--jobs", type=int, default=6,
                        help="jobs per episode (default 6)")
     chaos.add_argument("--rows", type=int, default=512,
@@ -1268,6 +1448,84 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="emit the deterministic report as JSON")
     chaos.set_defaults(func=cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="trace-driven multi-tenant fleet simulation (scheduling, "
+             "autoscaling, failure injection)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def _add_fleet_trace_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--kind", choices=("poisson", "diurnal", "bursty"),
+                       default="diurnal",
+                       help="arrival process (default diurnal)")
+        p.add_argument("--jobs", type=int, default=200,
+                       help="number of arrivals to generate (default 200)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="trace seed (same seed => same trace)")
+        p.add_argument("--horizon", type=float, default=86400.0,
+                       metavar="SECONDS",
+                       help="trace horizon in simulated seconds "
+                            "(default 86400 = one day)")
+        p.add_argument("--mean-duration", type=float, default=5400.0,
+                       metavar="SECONDS",
+                       help="mean job duration (default 5400)")
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="simulate one trace on the fleet; print the result"
+    )
+    fleet_run.add_argument("--trace", default=None, metavar="PATH",
+                           help="replay a recorded JSONL trace instead of "
+                                "generating one")
+    _add_fleet_trace_options(fleet_run)
+    fleet_run.add_argument("--policy", default="first-fit",
+                           help="placement policy (default first-fit; see "
+                                "repro.fleet.available_policies)")
+    fleet_run.add_argument("--autoscale", default="target-utilization",
+                           help="autoscaling policy (default "
+                                "target-utilization)")
+    fleet_run.add_argument("--faults", default=None,
+                           help="comma-separated fleet faults to inject "
+                                "(node-down, slow-node, arrival-burst)")
+    fleet_run.add_argument("--fault-seed", type=int, default=0,
+                           help="fault plan seed (default 0)")
+    fleet_run.add_argument("--slo", type=float, default=1800.0,
+                           metavar="SECONDS",
+                           help="queueing SLO threshold (default 1800)")
+    fleet_run.add_argument("--out", default=None, metavar="PATH",
+                           help="also write the FleetResult as JSON (feeds "
+                                "repro trend --fleet-result)")
+    fleet_run.add_argument("--json", action="store_true",
+                           help="print the full result as byte-stable JSON")
+    fleet_run.set_defaults(func=cmd_fleet_run)
+
+    fleet_trace = fleet_sub.add_parser(
+        "trace", help="generate or inspect replayable arrival traces"
+    )
+    fleet_trace_sub = fleet_trace.add_subparsers(
+        dest="fleet_trace_command", required=True
+    )
+
+    trace_gen = fleet_trace_sub.add_parser(
+        "gen", help="generate a seeded trace as replayable JSONL"
+    )
+    _add_fleet_trace_options(trace_gen)
+    trace_gen.add_argument("--out", required=True, metavar="PATH",
+                           help="JSONL output path")
+    trace_gen.add_argument("--json", action="store_true",
+                           help="print the trace summary as JSON")
+    trace_gen.set_defaults(func=cmd_fleet_trace_gen)
+
+    trace_replay = fleet_trace_sub.add_parser(
+        "replay",
+        help="load a trace file, verify it re-serializes byte-identically, "
+             "and summarize it",
+    )
+    trace_replay.add_argument("path", help="trace JSONL path")
+    trace_replay.add_argument("--json", action="store_true",
+                              help="print the summary as JSON")
+    trace_replay.set_defaults(func=cmd_fleet_trace_replay)
 
     trend = sub.add_parser(
         "trend",
@@ -1289,6 +1547,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable)")
         p.add_argument("--bench-report", action="append", metavar="PATH",
                        help="repro bench JSON report to read (repeatable)")
+        p.add_argument("--fleet-result", action="append", metavar="PATH",
+                       help="fleet result JSON (repro fleet run --out) to "
+                            "read (repeatable)")
         p.add_argument("--include-cached", action="store_true",
                        help="keep cache-replayed timings (excluded by "
                             "default: a cache hit is not a measurement)")

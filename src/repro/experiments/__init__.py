@@ -19,6 +19,8 @@ from repro.experiments import (
     abl_network_contention,
     abl_network_sweep,
     abl_row_vs_columnar,
+    fleet_resilience,
+    fleet_tco,
     fig3_colocated,
     fig4_cores_required,
     fig5_breakdown,
@@ -42,6 +44,8 @@ __all__ = [
     "abl_network_contention",
     "abl_network_sweep",
     "abl_row_vs_columnar",
+    "fleet_resilience",
+    "fleet_tco",
     "fig3_colocated",
     "fig4_cores_required",
     "fig5_breakdown",

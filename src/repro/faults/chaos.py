@@ -41,10 +41,15 @@ DEFAULT_FAULTS = ("worker-crash", "hung-stage", "torn-write")
 #: batch runner's watchdog deadline lives at the task, not the stage)
 DEFAULT_BATCH_FAULTS = ("worker-crash", "task-hang", "torn-write")
 
-#: the chaos tiers: a live streaming service, or a batch runner fan-out
-CHAOS_TIERS = ("serve", "batch")
+#: the fleet tier's matrix: node failures, degraded nodes, flash crowds
+DEFAULT_FLEET_FAULTS = ("node-down", "slow-node", "arrival-burst")
+
+#: the chaos tiers: a live streaming service, a batch runner fan-out, or
+#: a simulated fleet
+CHAOS_TIERS = ("serve", "batch", "fleet")
 
 #: per-class default rates — roughly half the jobs get hit, deterministically
+#: (fleet rates are per node-epoch / per arrival, so they sit much lower)
 _DEFAULT_RATES = {
     "worker-crash": 0.45,
     "task-hang": 0.4,
@@ -56,6 +61,9 @@ _DEFAULT_RATES = {
     "conn-drop": 0.3,
     "queue-stall": 0.5,
     "row-corrupt": 0.4,
+    "node-down": 0.01,
+    "slow-node": 0.05,
+    "arrival-burst": 0.03,
 }
 
 
@@ -423,6 +431,131 @@ def run_batch_episode(
     }
 
 
+def _fleet_episode_pools():
+    """Small two-pool fleet the chaos episodes attack (fast, heterogeneous)."""
+    from repro.fleet.simulator import PoolSpec
+
+    return (
+        PoolSpec(
+            name="disagg-cpu", system="Disagg", nodes=48,
+            workers_per_node=32, min_nodes=16, max_nodes=96,
+            scaleup_latency_s=120.0,
+        ),
+        PoolSpec(
+            name="presto-ssd", system="PreSto", nodes=8,
+            workers_per_node=8, min_nodes=4, max_nodes=32,
+            scaleup_latency_s=120.0,
+        ),
+    )
+
+
+def run_fleet_episode(
+    fault: str,
+    seed: int,
+    spool_dir: str,
+    num_jobs: int = 6,
+    rate: Optional[float] = None,
+    job_timeout_s: float = 5.0,
+    trace_kind: str = "diurnal",
+    policy: str = "first-fit",
+    autoscaler: str = "target-utilization",
+    **_ignored: Any,
+) -> Dict[str, Any]:
+    """One fleet fault class against the simulated cluster scheduler.
+
+    The serve/batch tiers submit ``num_jobs`` real jobs; a fleet needs
+    hundreds of arrivals before scheduling is interesting, so the episode
+    replays a seeded trace of ``20 x num_jobs`` arrivals over six
+    simulated hours.  Invariants gated:
+
+    1. **every job terminal** — completed or rejected, nothing queued or
+       running after the drain;
+    2. **displaced jobs rescheduled exactly once** per displacement
+       (``reschedules == displacements``);
+    3. **job conservation** — completed + rejected equals the jobs that
+       arrived (trace arrivals plus injected burst clones);
+    4. **deterministic report** — a second run under a fresh injector
+       yields the byte-identical :class:`FleetResult` digest.
+
+    Keyword names mirror :func:`run_episode` so one CLI drives every
+    tier; serve/batch-only kwargs are accepted and ignored.  The run's
+    ``FleetResult`` JSON lands in ``spool_dir/fleet_result.json`` for CI
+    artifact upload and ``repro trend record --fleet-result``.
+    """
+    import json as _json
+
+    from repro.fleet.simulator import FleetSimulator
+    from repro.fleet.trace import generate_trace
+
+    plan = plan_for(fault, seed, job_timeout_s, rate=rate)
+    violations: List[str] = []
+    started = time.perf_counter()
+    trace = generate_trace(
+        trace_kind,
+        num_jobs=max(1, num_jobs) * 20,
+        seed=seed,
+        horizon_s=6 * 3600.0,
+        mean_duration_s=1200.0,
+    )
+
+    def one_run():
+        injector = FaultInjector(plan)
+        simulator = FleetSimulator(
+            trace,
+            pools=_fleet_episode_pools(),
+            policy=policy,
+            autoscaler=autoscaler,
+            injector=injector,
+        )
+        return simulator.run(), injector
+
+    result, injector = one_run()
+    replay, _ = one_run()
+
+    if not result.all_terminal():
+        stuck = [j.job_id for j in result.jobs if not j.terminal]
+        violations.append(f"non-terminal jobs after drain: {stuck[:5]}")
+    if result.reschedules != result.displacements:
+        violations.append(
+            f"displaced jobs not rescheduled exactly once: "
+            f"{result.displacements} displacements, "
+            f"{result.reschedules} reschedules"
+        )
+    if result.completed + result.rejected != result.num_jobs:
+        violations.append(
+            f"job conservation broken: {result.completed} completed + "
+            f"{result.rejected} rejected != {result.num_jobs} jobs"
+        )
+    digests_checked = 1
+    if replay.digest != result.digest:
+        violations.append(
+            f"nondeterministic fleet run: digest {result.digest} != "
+            f"replay {replay.digest}"
+        )
+
+    os.makedirs(spool_dir, exist_ok=True)
+    with open(os.path.join(spool_dir, "fleet_result.json"), "w") as handle:
+        _json.dump(result.to_dict(), handle, indent=1)
+
+    return {
+        "fault": fault,
+        "plan": plan.to_dict(),
+        "jobs": result.num_jobs,
+        "states": {
+            "completed": result.completed,
+            "rejected": result.rejected,
+        },
+        "displacements": result.displacements,
+        "reschedules": result.reschedules,
+        "digest": result.digest,
+        "fired": injector.fire_counts(),
+        "digests_checked": digests_checked,
+        "index_errors": 0,
+        "violations": violations,
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
 def run_chaos(
     faults: Optional[Sequence[str]] = None,
     seed: int = 0,
@@ -434,11 +567,12 @@ def run_chaos(
 
     ``tier`` picks the surface under test: ``serve`` drives a live
     streaming service (:func:`run_episode`), ``batch`` drives the
-    fault-tolerant batch runner (:func:`run_batch_episode`).  ``faults``
-    defaults to the tier's canonical matrix.  The report's ``ok`` is True
-    iff no episode recorded a violation.  Everything except the
-    ``elapsed_s`` fields is deterministic for a fixed seed (see
-    :func:`deterministic_view`).
+    fault-tolerant batch runner (:func:`run_batch_episode`), ``fleet``
+    drives the simulated cluster scheduler (:func:`run_fleet_episode`).
+    ``faults`` defaults to the tier's canonical matrix.  The report's
+    ``ok`` is True iff no episode recorded a violation.  Everything
+    except the ``elapsed_s`` fields is deterministic for a fixed seed
+    (see :func:`deterministic_view`).
     """
     import shutil
     import tempfile
@@ -447,9 +581,19 @@ def run_chaos(
         raise ConfigurationError(
             f"tier must be one of {CHAOS_TIERS}, got {tier!r}"
         )
+    defaults = {
+        "serve": DEFAULT_FAULTS,
+        "batch": DEFAULT_BATCH_FAULTS,
+        "fleet": DEFAULT_FLEET_FAULTS,
+    }
+    episodes_by_tier = {
+        "serve": run_episode,
+        "batch": run_batch_episode,
+        "fleet": run_fleet_episode,
+    }
     if faults is None:
-        faults = DEFAULT_FAULTS if tier == "serve" else DEFAULT_BATCH_FAULTS
-    episode = run_episode if tier == "serve" else run_batch_episode
+        faults = defaults[tier]
+    episode = episodes_by_tier[tier]
     owned = spool_root is None
     root = spool_root or tempfile.mkdtemp(prefix="repro-chaos-")
     started = time.perf_counter()

@@ -137,7 +137,10 @@ class FaultInjector:
                 rule.delay_s if rule.delay_s is not None else DEFAULT_HANG_S
             )
             return None
-        return rule  # torn / drop / corrupt: the probe site enacts it
+        # torn / drop / corrupt / down / slow / burst: cooperative — the
+        # probe site enacts the misbehavior in kind (the fleet simulator
+        # does so in simulated time, never wall-clock)
+        return rule
 
 
 # --------------------------------------------------------------------------

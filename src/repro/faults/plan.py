@@ -50,11 +50,19 @@ FAULT_POINTS: Dict[str, str] = {
                    "(producer-side turbulence)",
     "row-corrupt": "dataio/rowformat: one byte of a freshly written row "
                    "file is flipped (must be caught downstream, loudly)",
+    "node-down": "fleet/simulator: a pool node fails; its running jobs "
+                 "are displaced and rescheduled, the node repairs after "
+                 "repair_s simulated seconds",
+    "slow-node": "fleet/simulator: a pool node degrades; jobs running on "
+                 "it finish delay_s simulated seconds late",
+    "arrival-burst": "fleet/simulator: one arrival fans out into a flash "
+                     "crowd of clone jobs (delay_s, when set, is the "
+                     "clone count)",
 }
 
 #: what each action does when its rule fires
 FAULT_ACTIONS = ("crash", "hang", "delay", "error", "torn", "enospc",
-                 "drop", "corrupt")
+                 "drop", "corrupt", "down", "slow", "burst")
 
 #: actions the generic probe executes itself (raise / sleep); the rest are
 #: *cooperative* — the probe site reads the action and misbehaves in kind
@@ -72,6 +80,9 @@ DEFAULT_ACTIONS = {
     "conn-drop": "drop",
     "queue-stall": "delay",
     "row-corrupt": "corrupt",
+    "node-down": "down",
+    "slow-node": "slow",
+    "arrival-burst": "burst",
 }
 
 

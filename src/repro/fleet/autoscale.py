@@ -1,0 +1,177 @@
+"""Autoscaling — provisioning policies that resize pools over simulated time.
+
+The fleet operator doesn't provision a static pool; capacity follows
+load.  An autoscaler is consulted once per scheduler step with a frozen
+:class:`PoolSnapshot` of one pool and answers one question: how many
+nodes *should* this pool have.  The simulator enacts the answer — new
+nodes come online only after the pool's ``scaleup_latency_s`` (capacity
+is never free or instant), shrinking removes idle nodes only (running
+jobs are never evicted by the autoscaler), and every capacity change
+lands in the pool's capacity-hour ledger that
+:func:`repro.analysis.cost.capacity_cost` turns into dollars.
+
+Like placement policies, autoscalers live in a registry
+(:func:`register_autoscaler`) so ``repro fleet --autoscale`` and the
+experiments resolve them by name.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+#: the built-in provisioning policies
+AUTOSCALE_KINDS = ("fixed", "target-utilization", "queue-depth")
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """What an autoscaler sees of one pool at one step (all workers)."""
+
+    nodes: int  # up + pending nodes (committed capacity)
+    workers_per_node: int
+    busy_workers: int  # workers running jobs right now
+    queued_workers: int  # aggregate demand of the queued jobs
+    min_nodes: int
+    max_nodes: int
+
+    @property
+    def capacity(self) -> int:
+        return self.nodes * self.workers_per_node
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_workers / self.capacity if self.capacity else 0.0
+
+    def clamp(self, nodes: int) -> int:
+        return max(self.min_nodes, min(self.max_nodes, nodes))
+
+
+class Autoscaler:
+    """Base autoscaler: hold the current node count (``fixed``)."""
+
+    name = "fixed"
+
+    def target_nodes(self, pool: PoolSnapshot) -> int:
+        """The node count this pool should converge to."""
+        return pool.clamp(pool.nodes)
+
+
+class AutoscalerRegistry:
+    """Name -> :class:`Autoscaler` factory catalog."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], Autoscaler]] = {}
+
+    def register(
+        self, name: str, factory: Callable[[], Autoscaler], replace: bool = False
+    ) -> Callable[[], Autoscaler]:
+        if not isinstance(name, str) or not name.strip():
+            raise ConfigurationError(
+                "autoscaler name must be a non-empty string"
+            )
+        if not callable(factory):
+            raise ConfigurationError(f"factory for {name!r} must be callable")
+        if name in self._factories and not replace:
+            raise ConfigurationError(
+                f"autoscaler {name!r} is already registered; "
+                "pass replace=True to override"
+            )
+        self._factories[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        del self._factories[name]
+
+    def create(self, name: str) -> Autoscaler:
+        if name not in self._factories:
+            raise ConfigurationError(
+                f"unknown autoscaler {name!r}; registered autoscalers: "
+                + ", ".join(self.names())
+            )
+        scaler = self._factories[name]()
+        scaler.name = name
+        return scaler
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+
+#: the process-wide autoscaler catalog
+AUTOSCALER_REGISTRY = AutoscalerRegistry()
+
+
+def register_autoscaler(
+    name: str, *, replace: bool = False
+) -> Callable[[Callable[[], Autoscaler]], Callable[[], Autoscaler]]:
+    """Class decorator registering an autoscaler by name."""
+
+    def decorate(factory: Callable[[], Autoscaler]):
+        return AUTOSCALER_REGISTRY.register(name, factory, replace=replace)
+
+    return decorate
+
+
+def get_autoscaler(name: str) -> Autoscaler:
+    """Instantiate one registered autoscaler by name."""
+    return AUTOSCALER_REGISTRY.create(name)
+
+
+def available_autoscalers() -> Tuple[str, ...]:
+    """Registered autoscaler names, registration order."""
+    return AUTOSCALER_REGISTRY.names()
+
+
+@register_autoscaler("fixed")
+class FixedAutoscaler(Autoscaler):
+    """Static provisioning: the pool keeps its declared node count."""
+
+
+@register_autoscaler("target-utilization")
+class TargetUtilizationAutoscaler(Autoscaler):
+    """Track a worker-utilization setpoint (default 70%).
+
+    Sizes the pool so ``busy / capacity`` sits at the target; demand
+    from the queue counts toward busy so a backlog pulls capacity up
+    before jobs time out in the queue.
+    """
+
+    def __init__(self, target: float = 0.7) -> None:
+        if not (0.0 < target <= 1.0):
+            raise ConfigurationError(
+                f"utilization target must be in (0, 1], got {target!r}"
+            )
+        self.target = target
+
+    def target_nodes(self, pool: PoolSnapshot) -> int:
+        demand = pool.busy_workers + pool.queued_workers
+        wanted = math.ceil(
+            demand / (self.target * pool.workers_per_node)
+        ) if demand else pool.min_nodes
+        return pool.clamp(wanted)
+
+
+@register_autoscaler("queue-depth")
+class QueueDepthAutoscaler(Autoscaler):
+    """Chase the backlog: add exactly the nodes the queue needs, shed
+    nodes the moment the queue is empty and workers sit idle."""
+
+    def target_nodes(self, pool: PoolSnapshot) -> int:
+        wpn = pool.workers_per_node
+        if pool.queued_workers > 0:
+            wanted = pool.nodes + math.ceil(pool.queued_workers / wpn)
+        else:
+            wanted = math.ceil(pool.busy_workers / wpn) if pool.busy_workers else pool.min_nodes
+        return pool.clamp(wanted)

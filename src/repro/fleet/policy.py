@@ -1,0 +1,149 @@
+"""Placement policies — how the cluster scheduler packs jobs into pools.
+
+Mirrors :mod:`repro.api.registry`: every policy registers under a stable
+name via :func:`register_policy` and the simulator, the chaos harness,
+and ``repro fleet --policy`` all resolve it through the one
+:data:`POLICY_REGISTRY`.
+
+A policy answers two questions, both as pure functions of the visible
+state (so fleet runs stay deterministic):
+
+* :meth:`PlacementPolicy.queue_order` — the order queued jobs are
+  offered capacity (FIFO by default; ``priority`` puts urgent jobs
+  first);
+* :meth:`PlacementPolicy.choose_pool` — which candidate pool a job
+  lands in (``first-fit`` takes the first that fits, ``best-fit`` the
+  tightest fit).
+
+Candidates arrive as ``(pool_name, free_workers, needed_workers)``
+tuples for pools that can hold the job *right now*; ``choose_pool``
+returns one of the pool names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fleet.trace import JobArrival
+
+#: one placement candidate: (pool name, free workers, workers needed there)
+Candidate = Tuple[str, int, int]
+
+
+class PlacementPolicy:
+    """Base policy: FIFO queue order, first-fit pool choice."""
+
+    name = "first-fit"
+
+    def queue_order(self, queued: Sequence[JobArrival]) -> List[JobArrival]:
+        """The order queued jobs are offered freed capacity.  The head
+        of the returned list blocks the rest (no backfilling), which
+        keeps admission decisions O(1) per event and starvation-free."""
+        return list(queued)
+
+    def choose_pool(self, job: JobArrival, candidates: Sequence[Candidate]) -> str:
+        """Pick one of the candidate pools (all already fit the job)."""
+        return candidates[0][0]
+
+
+class PolicyRegistry:
+    """Name -> :class:`PlacementPolicy` factory catalog."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], PlacementPolicy]] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], PlacementPolicy],
+        replace: bool = False,
+    ) -> Callable[[], PlacementPolicy]:
+        if not isinstance(name, str) or not name.strip():
+            raise ConfigurationError("policy name must be a non-empty string")
+        if not callable(factory):
+            raise ConfigurationError(f"factory for {name!r} must be callable")
+        if name in self._factories and not replace:
+            raise ConfigurationError(
+                f"placement policy {name!r} is already registered; "
+                "pass replace=True to override"
+            )
+        self._factories[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        del self._factories[name]
+
+    def create(self, name: str) -> PlacementPolicy:
+        if name not in self._factories:
+            raise ConfigurationError(
+                f"unknown placement policy {name!r}; registered policies: "
+                + ", ".join(self.names())
+            )
+        policy = self._factories[name]()
+        policy.name = name
+        return policy
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+
+#: the process-wide placement-policy catalog
+POLICY_REGISTRY = PolicyRegistry()
+
+
+def register_policy(
+    name: str, *, replace: bool = False
+) -> Callable[[Callable[[], PlacementPolicy]], Callable[[], PlacementPolicy]]:
+    """Class decorator registering a placement policy by name."""
+
+    def decorate(factory: Callable[[], PlacementPolicy]):
+        return POLICY_REGISTRY.register(name, factory, replace=replace)
+
+    return decorate
+
+
+def get_policy(name: str) -> PlacementPolicy:
+    """Instantiate one registered policy by name."""
+    return POLICY_REGISTRY.create(name)
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Registered policy names, registration order (built-ins first)."""
+    return POLICY_REGISTRY.names()
+
+
+@register_policy("first-fit")
+class FirstFitPolicy(PlacementPolicy):
+    """FIFO queue, first pool (declaration order) that fits."""
+
+
+@register_policy("best-fit")
+class BestFitPolicy(PlacementPolicy):
+    """FIFO queue, tightest-fitting pool (least free capacity left
+    after placement; declaration order breaks ties)."""
+
+    def choose_pool(self, job: JobArrival, candidates: Sequence[Candidate]) -> str:
+        best = min(candidates, key=lambda c: (c[1] - c[2],))
+        return best[0]
+
+
+@register_policy("priority")
+class PriorityPolicy(PlacementPolicy):
+    """Priority queue (high first, FIFO within a class), first-fit pools.
+
+    Sorting is stable, so two jobs of equal priority keep submission
+    order — the deterministic tiebreak the chaos harness relies on.
+    """
+
+    def queue_order(self, queued: Sequence[JobArrival]) -> List[JobArrival]:
+        return sorted(queued, key=lambda job: -job.priority)

@@ -1,0 +1,220 @@
+"""Fleet run results — frozen, dict-round-trippable, telemetry-emitting.
+
+A :class:`FleetResult` is the complete record of one
+:class:`~repro.fleet.simulator.FleetSimulator` run: one
+:class:`FleetJobRecord` per job (latency, queueing, displacement), one
+:class:`PoolUsage` per pool (capacity-hours, energy, cost), a
+downsampled :class:`PoolSample` time series, and the fault-injection
+audit.  Like every experiment result in the repo it round-trips
+losslessly through plain dicts via the typed codec in
+:mod:`repro.api.experiment` — the same seed always yields the
+byte-identical ``to_dict()`` — and it flattens into
+:class:`~repro.telemetry.events.TimingEvent` records
+(:meth:`FleetResult.telemetry_events`) so fleet runs land in the trend
+store next to batch, serve, and bench timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.api.experiment import canonical_digest, decode_value, encode_value
+from repro.errors import ConfigurationError
+
+#: every state a fleet job can end a run in
+JOB_STATES = ("queued", "running", "completed", "rejected")
+
+#: terminal states — a finished run must leave every job in one of these
+TERMINAL_STATES = ("completed", "rejected")
+
+
+@dataclass(frozen=True)
+class FleetJobRecord:
+    """How one job fared: where it ran, how long it waited, displacements."""
+
+    job_id: str
+    model: str
+    num_gpus: int
+    priority: int
+    state: str
+    pool: Optional[str] = None
+    submit_s: float = 0.0
+    start_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    queue_s: float = 0.0
+    reschedules: int = 0
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ConfigurationError(
+                f"job {self.job_id!r}: state must be one of {JOB_STATES}, "
+                f"got {self.state!r}"
+            )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+@dataclass(frozen=True)
+class PoolUsage:
+    """One pool's capacity ledger over the run (workers, energy, dollars)."""
+
+    name: str
+    system: str
+    workers_per_node: int
+    peak_nodes: int
+    jobs_completed: int
+    node_failures: int
+    capacity_worker_hours: float
+    busy_worker_hours: float
+    energy_kwh: float
+    capex: float
+    opex: float
+
+    @property
+    def utilization(self) -> float:
+        """Busy worker-hours over provisioned worker-hours (0 when idle)."""
+        if self.capacity_worker_hours <= 0:
+            return 0.0
+        return self.busy_worker_hours / self.capacity_worker_hours
+
+    @property
+    def total_cost(self) -> float:
+        return self.capex + self.opex
+
+
+@dataclass(frozen=True)
+class PoolSample:
+    """One point of the per-pool time series (sampled every few steps)."""
+
+    t_s: float
+    pool: str
+    nodes: int
+    busy_workers: int
+    queued_jobs: int
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """The frozen outcome of one fleet simulation run."""
+
+    trace_kind: str
+    trace_seed: int
+    policy: str
+    autoscaler: str
+    num_jobs: int
+    completed: int
+    rejected: int
+    displacements: int
+    reschedules: int
+    makespan_s: float
+    mean_queue_s: float
+    p95_queue_s: float
+    slo_queue_s: float
+    slo_attainment: float
+    utilization: float
+    total_cost: float
+    jobs: Tuple[FleetJobRecord, ...] = ()
+    pools: Tuple[PoolUsage, ...] = ()
+    samples: Tuple[PoolSample, ...] = ()
+    fault_fires: Dict[str, int] = field(default_factory=dict)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; byte-stable for a given seed (determinism key)."""
+        return encode_value(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetResult":
+        return decode_value(cls, dict(data))
+
+    @property
+    def digest(self) -> str:
+        """Short stable hash of the full result — what CI compares."""
+        return canonical_digest(self.to_dict())
+
+    # -- derived views -------------------------------------------------------
+
+    def all_terminal(self) -> bool:
+        """True when every job finished or was rejected (run invariant)."""
+        return all(job.terminal for job in self.jobs)
+
+    def pool(self, name: str) -> PoolUsage:
+        for usage in self.pools:
+            if usage.name == name:
+                return usage
+        raise ConfigurationError(
+            f"no pool {name!r} in result; pools: "
+            + ", ".join(u.name for u in self.pools)
+        )
+
+    # -- telemetry -----------------------------------------------------------
+
+    def telemetry_events(self, run_id: str = "fleet") -> List:
+        """Flatten the run into :class:`TimingEvent` records.
+
+        Per completed job: a ``queue`` event (submit -> start wait) and a
+        ``run`` event (start -> finish), keyed by model so timings
+        aggregate across runs; rejected jobs emit one ``skipped`` queue
+        event.  Per pool: one ``capacity`` event carrying the
+        utilization/energy/cost metrics.  One whole-run ``fleet/run``
+        rollup carries the headline numbers.
+        """
+        from repro.telemetry.events import TimingEvent
+
+        events: List[TimingEvent] = []
+        for job in self.jobs:
+            if job.state == "completed":
+                events.append(TimingEvent(
+                    source="fleet", run_id=run_id, task=job.model,
+                    stage="queue", outcome="ok", elapsed_s=job.queue_s,
+                    attempts=1 + job.reschedules, at=job.start_s,
+                ))
+                elapsed = None
+                if job.finish_s is not None and job.start_s is not None:
+                    elapsed = max(0.0, job.finish_s - job.start_s)
+                events.append(TimingEvent(
+                    source="fleet", run_id=run_id, task=job.model,
+                    stage="run", outcome="ok", elapsed_s=elapsed,
+                    attempts=1 + job.reschedules, at=job.finish_s,
+                ))
+            elif job.state == "rejected":
+                events.append(TimingEvent(
+                    source="fleet", run_id=run_id, task=job.model,
+                    stage="queue", outcome="skipped", elapsed_s=None,
+                    at=job.submit_s,
+                ))
+        for usage in self.pools:
+            events.append(TimingEvent(
+                source="fleet", run_id=run_id, task=usage.name,
+                stage="capacity", outcome="ok",
+                elapsed_s=None,
+                metrics={
+                    "capacity_worker_hours": usage.capacity_worker_hours,
+                    "busy_worker_hours": usage.busy_worker_hours,
+                    "utilization": usage.utilization,
+                    "energy_kwh": usage.energy_kwh,
+                    "total_cost": usage.total_cost,
+                    "peak_nodes": float(usage.peak_nodes),
+                    "node_failures": float(usage.node_failures),
+                },
+            ))
+        events.append(TimingEvent(
+            source="fleet", run_id=run_id, task="fleet", stage="run",
+            outcome="ok", elapsed_s=self.makespan_s,
+            metrics={
+                "num_jobs": float(self.num_jobs),
+                "completed": float(self.completed),
+                "rejected": float(self.rejected),
+                "displacements": float(self.displacements),
+                "mean_queue_s": self.mean_queue_s,
+                "p95_queue_s": self.p95_queue_s,
+                "slo_attainment": self.slo_attainment,
+                "utilization": self.utilization,
+                "total_cost": self.total_cost,
+            },
+        ))
+        return events

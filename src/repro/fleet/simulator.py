@@ -1,0 +1,731 @@
+"""The cluster scheduler: a time-stepped fleet simulation on ``sim.engine``.
+
+:class:`FleetSimulator` replays an arrival :class:`~repro.fleet.trace.Trace`
+against heterogeneous pools of preprocessing capacity
+(:class:`PoolSpec` entries naming registered systems — a Disagg CPU pool,
+a PreSto SmartSSD pool), admitting, queueing, and rescheduling jobs on
+the discrete-event :class:`~repro.sim.engine.Engine`:
+
+* **placement** is delegated to a registered
+  :class:`~repro.fleet.policy.PlacementPolicy`; a job needs
+  ``system.provision_for(num_gpus).num_workers`` workers in a pool
+  (cached per (pool, model, gpus)) and may span nodes;
+* **autoscaling** consults a registered
+  :class:`~repro.fleet.autoscale.Autoscaler` once per step; growth pays
+  the pool's ``scaleup_latency_s`` before new nodes serve, shrinking
+  retires only idle nodes, and every step integrates the pool's
+  capacity-hour and energy ledgers (``power(capacity) x dt``) that
+  :func:`repro.analysis.cost.capacity_cost` prices;
+* **failure injection** rides the pure-hash
+  :class:`~repro.faults.plan.FaultPlan` machinery through three fleet
+  probe points — ``node-down`` (node fails, running jobs are displaced
+  and rescheduled, the node repairs after ``repair_s``), ``slow-node``
+  (jobs on the node finish ``delay_s`` late), and ``arrival-burst``
+  (an arrival fans out into a flash crowd of clones).  Probes key on
+  stable identities (``pool:node:epoch``, job ids), so the same seed
+  replays the same episode event for event.
+
+Determinism is end to end: the engine orders simultaneous events FIFO,
+the simulator draws no randomness of its own, and faults hash — the same
+trace, pools, policy, and fault seed always produce the byte-identical
+:class:`~repro.fleet.result.FleetResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cost import capacity_cost
+from repro.api.registry import REGISTRY
+from repro.errors import ConfigurationError, FleetError, ProvisioningError
+from repro.faults.injector import FaultInjector, active_injector
+from repro.features.specs import get_model
+from repro.fleet.policy import Candidate, PlacementPolicy, get_policy
+from repro.fleet.autoscale import Autoscaler, PoolSnapshot, get_autoscaler
+from repro.fleet.result import (
+    FleetJobRecord,
+    FleetResult,
+    PoolSample,
+    PoolUsage,
+)
+from repro.fleet.trace import JobArrival, Trace
+from repro.hardware.calibration import CALIBRATION, Calibration
+from repro.sim.engine import Engine, Timeout
+
+#: extra clones an ``arrival-burst`` fault fans one arrival into
+BURST_CLONES = 2
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """One pool of preprocessing capacity built from a registered system."""
+
+    name: str
+    system: str  # registered system name ("Disagg", "PreSto", ...)
+    nodes: int  # initial node count
+    workers_per_node: int
+    min_nodes: int = 1
+    max_nodes: int = 64
+    scaleup_latency_s: float = 300.0
+    model: str = "RM5"  # reference spec for power/capex calibration
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name.strip():
+            raise ConfigurationError("pool name must be a non-empty string")
+        if self.workers_per_node <= 0:
+            raise ConfigurationError(
+                f"pool {self.name!r}: workers_per_node must be positive"
+            )
+        if self.min_nodes < 0 or self.max_nodes < max(1, self.min_nodes):
+            raise ConfigurationError(
+                f"pool {self.name!r}: need 0 <= min_nodes <= max_nodes "
+                f"(got {self.min_nodes}..{self.max_nodes})"
+            )
+        if not (self.min_nodes <= self.nodes <= self.max_nodes):
+            raise ConfigurationError(
+                f"pool {self.name!r}: initial nodes {self.nodes} outside "
+                f"[{self.min_nodes}, {self.max_nodes}]"
+            )
+        if self.scaleup_latency_s < 0:
+            raise ConfigurationError(
+                f"pool {self.name!r}: scaleup_latency_s must be non-negative"
+            )
+
+    @property
+    def max_workers(self) -> int:
+        return self.max_nodes * self.workers_per_node
+
+
+def default_pools(calibration: Calibration = CALIBRATION) -> Tuple[PoolSpec, ...]:
+    """The paper's two contenders as fleet pools: Disagg CPU servers
+    (``cpu_cores_per_node`` workers each) vs PreSto SmartSSD storage
+    nodes — sized so a day-scale diurnal trace exercises autoscaling."""
+    return (
+        PoolSpec(
+            name="disagg-cpu",
+            system="Disagg",
+            nodes=256,
+            workers_per_node=calibration.cpu_cores_per_node,
+            min_nodes=32,
+            max_nodes=1536,
+            scaleup_latency_s=300.0,
+        ),
+        PoolSpec(
+            name="presto-ssd",
+            system="PreSto",
+            nodes=24,
+            workers_per_node=8,
+            min_nodes=8,
+            max_nodes=192,
+            scaleup_latency_s=300.0,
+        ),
+    )
+
+
+class _Node:
+    """One node inside a pool: capacity plus its live allocations."""
+
+    __slots__ = ("id", "up", "retired", "allocations")
+
+    def __init__(self, node_id: int) -> None:
+        self.id = node_id
+        self.up = True
+        self.retired = False
+        self.allocations: Dict[str, int] = {}  # job_id -> workers here
+
+
+class _Job:
+    """Mutable per-job run state behind the frozen trace arrival."""
+
+    __slots__ = (
+        "arrival", "state", "pool", "start_s", "finish_s", "waited_s",
+        "enqueued_s", "reschedules", "displacements", "token", "alloc",
+    )
+
+    def __init__(self, arrival: JobArrival) -> None:
+        self.arrival = arrival
+        self.state = "queued"
+        self.pool: Optional[str] = None
+        self.start_s: Optional[float] = None
+        self.finish_s: Optional[float] = None
+        self.waited_s = 0.0
+        self.enqueued_s = arrival.submit_s
+        self.reschedules = 0
+        self.displacements = 0
+        self.token = 0  # bumps invalidate in-flight completion callbacks
+        self.alloc: Dict[int, int] = {}  # node id -> workers (one pool)
+
+
+class _PoolState:
+    """One pool's live nodes, pending growth, and usage ledgers."""
+
+    __slots__ = (
+        "spec", "reference", "systems", "need_cache", "nodes", "pending",
+        "next_node_id", "peak_nodes", "capacity_worker_hours",
+        "busy_worker_hours", "energy_kwh", "jobs_completed", "node_failures",
+    )
+
+    def __init__(self, spec: PoolSpec, calibration: Calibration) -> None:
+        self.spec = spec
+        self.reference = REGISTRY.create(
+            spec.system, get_model(spec.model), calibration
+        )
+        self.systems: Dict[str, object] = {}
+        self.need_cache: Dict[Tuple[str, int], Optional[int]] = {}
+        self.nodes: List[_Node] = [_Node(i) for i in range(spec.nodes)]
+        self.pending = 0  # nodes bought but not yet online
+        self.next_node_id = spec.nodes
+        self.peak_nodes = spec.nodes
+        self.capacity_worker_hours = 0.0
+        self.busy_worker_hours = 0.0
+        self.energy_kwh = 0.0
+        self.jobs_completed = 0
+        self.node_failures = 0
+
+    @property
+    def committed_nodes(self) -> int:
+        """Nodes the pool owns right now: live (up or repairing) + pending."""
+        return len(self.nodes) + self.pending
+
+    def up_nodes(self) -> List[_Node]:
+        return [node for node in self.nodes if node.up]
+
+    def free_workers(self) -> int:
+        wpn = self.spec.workers_per_node
+        return sum(
+            wpn - sum(node.allocations.values()) for node in self.up_nodes()
+        )
+
+    def busy_workers(self) -> int:
+        return sum(
+            sum(node.allocations.values()) for node in self.nodes
+        )
+
+
+class FleetSimulator:
+    """Run one trace against one fleet (see module docstring)."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        pools: Optional[Tuple[PoolSpec, ...]] = None,
+        policy: str = "first-fit",
+        autoscaler: str = "fixed",
+        calibration: Calibration = CALIBRATION,
+        step_s: float = 60.0,
+        fault_epoch_s: float = 600.0,
+        repair_s: float = 900.0,
+        slow_penalty_s: float = 300.0,
+        slo_queue_s: float = 1800.0,
+        sample_every_s: float = 900.0,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        if not isinstance(trace, Trace):
+            raise ConfigurationError(
+                f"FleetSimulator needs a Trace, got {trace!r}"
+            )
+        pool_specs = tuple(pools) if pools is not None else default_pools(calibration)
+        if not pool_specs:
+            raise ConfigurationError("a fleet needs at least one pool")
+        names = [spec.name for spec in pool_specs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate pool names in {names}")
+        if step_s <= 0 or fault_epoch_s <= 0 or sample_every_s <= 0:
+            raise ConfigurationError(
+                "step_s, fault_epoch_s, and sample_every_s must be positive"
+            )
+        if repair_s < 0 or slow_penalty_s < 0 or slo_queue_s < 0:
+            raise ConfigurationError(
+                "repair_s, slow_penalty_s, and slo_queue_s must be "
+                "non-negative"
+            )
+        self.trace = trace
+        self.calibration = calibration
+        self.policy: PlacementPolicy = get_policy(policy)
+        self.autoscaler: Autoscaler = get_autoscaler(autoscaler)
+        self.step_s = float(step_s)
+        self.fault_epoch_s = float(fault_epoch_s)
+        self.repair_s = float(repair_s)
+        self.slow_penalty_s = float(slow_penalty_s)
+        self.slo_queue_s = float(slo_queue_s)
+        self.sample_every_s = float(sample_every_s)
+        self._injector = injector
+
+        self.engine = Engine()
+        self.pools: Dict[str, _PoolState] = {
+            spec.name: _PoolState(spec, calibration) for spec in pool_specs
+        }
+        self._jobs: Dict[str, _Job] = {}
+        self._queue: List[_Job] = []
+        self._arrived = 0
+        self._expected = len(trace)
+        self._terminal = 0
+        self._last_terminal_s = 0.0
+        self._last_integrate_s = 0.0
+        self._last_fault_epoch = -1
+        self._last_sample_s = -self.sample_every_s
+        self._samples: List[PoolSample] = []
+
+    # -- fault probes --------------------------------------------------------
+
+    def _probe(self, point: str, **context):
+        """Cooperative fleet probe: the matched rule, or ``None``.
+
+        Uses the simulator's own injector when one was passed, else the
+        process-global one.  Fleet actions (``down``/``slow``/``burst``)
+        are always enacted here in simulated time — never via the generic
+        wall-clock executor."""
+        injector = self._injector if self._injector is not None else active_injector()
+        if injector is None:
+            return None
+        return injector.check(point, **context)
+
+    # -- provisioning --------------------------------------------------------
+
+    def _need(self, pool: _PoolState, arrival: JobArrival) -> Optional[int]:
+        """Workers ``arrival`` needs in ``pool`` (None: can't run there)."""
+        key = (arrival.model, arrival.num_gpus)
+        if key not in pool.need_cache:
+            system = pool.systems.get(arrival.model)
+            if system is None:
+                system = REGISTRY.create(
+                    pool.spec.system, get_model(arrival.model), self.calibration
+                )
+                pool.systems[arrival.model] = system
+            try:
+                need = system.provision_for(arrival.num_gpus).num_workers
+            except (ConfigurationError, ProvisioningError):
+                need = None  # this technology cannot sustain the job
+            pool.need_cache[key] = need
+        return pool.need_cache[key]
+
+    def _fits_ever(self, arrival: JobArrival) -> bool:
+        for pool in self.pools.values():
+            need = self._need(pool, arrival)
+            if need is not None and need <= pool.spec.max_workers:
+                return True
+        return False
+
+    # -- arrivals ------------------------------------------------------------
+
+    def _on_arrival(self, arrival: JobArrival, burst_probe: bool) -> None:
+        self._arrived += 1
+        jobs = [arrival]
+        if burst_probe:
+            rule = self._probe(
+                "arrival-burst", job_id=arrival.job_id, item=arrival.job_id
+            )
+            if rule is not None:
+                clones = int(rule.delay_s) if rule.delay_s else BURST_CLONES
+                for index in range(max(1, clones)):
+                    clone = dataclasses.replace(
+                        arrival, job_id=f"{arrival.job_id}+burst{index}"
+                    )
+                    jobs.append(clone)
+                    self._expected += 1
+                    self._arrived += 1
+        for entry in jobs:
+            job = _Job(entry)
+            job.enqueued_s = self.engine.now
+            self._jobs[entry.job_id] = job
+            if not self._fits_ever(entry):
+                job.state = "rejected"
+                self._terminal += 1
+                self._last_terminal_s = self.engine.now
+                continue
+            self._queue.append(job)
+        self._drain()
+
+    # -- placement -----------------------------------------------------------
+
+    def _candidates(self, arrival: JobArrival) -> List[Candidate]:
+        found: List[Candidate] = []
+        for pool in self.pools.values():
+            need = self._need(pool, arrival)
+            if need is None or need > pool.spec.max_workers:
+                continue
+            free = pool.free_workers()
+            if need <= free:
+                found.append((pool.spec.name, free, need))
+        return found
+
+    def _place(self, job: _Job, pool_name: str, need: int) -> None:
+        pool = self.pools[pool_name]
+        now = self.engine.now
+        remaining = need
+        wpn = pool.spec.workers_per_node
+        for node in pool.up_nodes():
+            if remaining <= 0:
+                break
+            free = wpn - sum(node.allocations.values())
+            if free <= 0:
+                continue
+            take = min(free, remaining)
+            node.allocations[job.arrival.job_id] = take
+            job.alloc[node.id] = take
+            remaining -= take
+        if remaining > 0:  # _candidates said it fits; this is a bug
+            raise FleetError(
+                f"pool {pool_name!r} lost capacity while placing "
+                f"{job.arrival.job_id!r}"
+            )
+        job.state = "running"
+        job.pool = pool_name
+        job.waited_s += now - job.enqueued_s
+        if job.start_s is None:
+            job.start_s = now
+        job.token += 1
+        token = job.token
+        finish = now + job.arrival.duration_s
+        job.finish_s = finish
+        self.engine.schedule(
+            job.arrival.duration_s, lambda: self._complete(job, token)
+        )
+
+    def _drain(self) -> None:
+        """Offer free capacity to the queue in policy order.  The head of
+        the ordered queue blocks the rest (no backfilling)."""
+        if not self._queue:
+            return
+        by_id = {job.arrival.job_id: job for job in self._queue}
+        placed: List[_Job] = []
+        for arrival in self.policy.queue_order(
+            [job.arrival for job in self._queue]
+        ):
+            job = by_id[arrival.job_id]
+            candidates = self._candidates(arrival)
+            if not candidates:
+                break
+            choice = self.policy.choose_pool(arrival, candidates)
+            by_name = {name: need for name, _, need in candidates}
+            if choice not in by_name:
+                raise FleetError(
+                    f"policy {self.policy.name!r} chose {choice!r} which is "
+                    f"not a candidate for {arrival.job_id!r}"
+                )
+            self._place(job, choice, by_name[choice])
+            placed.append(job)
+        if placed:
+            gone = {id(job) for job in placed}
+            self._queue = [j for j in self._queue if id(j) not in gone]
+
+    # -- completion / displacement ------------------------------------------
+
+    def _free(self, job: _Job) -> None:
+        if job.pool is None:
+            return
+        pool = self.pools[job.pool]
+        for node in pool.nodes:
+            node.allocations.pop(job.arrival.job_id, None)
+        job.alloc = {}
+
+    def _complete(self, job: _Job, token: int) -> None:
+        if job.token != token or job.state != "running":
+            return  # displaced or slowed since this callback was scheduled
+        pool = self.pools[job.pool]
+        self._free(job)
+        job.state = "completed"
+        job.finish_s = self.engine.now
+        pool.jobs_completed += 1
+        self._terminal += 1
+        self._last_terminal_s = self.engine.now
+        self._drain()
+
+    def _displace(self, job: _Job) -> None:
+        """A node failure killed this job's allocation: requeue it once.
+
+        The job restarts from scratch (full duration) — checkpointing is
+        out of scope for the fleet tier."""
+        self._free(job)
+        job.token += 1  # invalidate the in-flight completion
+        job.state = "queued"
+        job.pool = None
+        job.finish_s = None
+        job.displacements += 1
+        job.reschedules += 1
+        job.enqueued_s = self.engine.now
+        self._queue.append(job)
+
+    def _fail_node(self, pool: _PoolState, node: _Node) -> None:
+        node.up = False
+        pool.node_failures += 1
+        for job_id in list(node.allocations):
+            job = self._jobs[job_id]
+            self._displace(job)
+        node.allocations.clear()
+
+        def repair() -> None:
+            if not node.retired:
+                node.up = True
+                self._drain()
+
+        self.engine.schedule(self.repair_s, repair)
+
+    def _slow_jobs(self, job_ids, penalty_s: float) -> None:
+        """Each affected job finishes ``penalty_s`` late.  A job spanning
+        several degraded nodes is only as slow as its slowest node — one
+        penalty per epoch, not one per node — which also keeps a wide job
+        from being slowed faster than it can finish."""
+        for job_id in job_ids:
+            job = self._jobs[job_id]
+            if job.state != "running" or job.finish_s is None:
+                continue
+            job.token += 1
+            token = job.token
+            job.finish_s += penalty_s
+            self.engine.schedule(
+                job.finish_s - self.engine.now,
+                lambda job=job, token=token: self._complete(job, token),
+            )
+
+    def _probe_nodes(self, epoch: int) -> None:
+        slowed: Dict[str, float] = {}  # job_id -> worst penalty this epoch
+        for pool in self.pools.values():
+            for node in pool.up_nodes():
+                item = f"{pool.spec.name}:node-{node.id}:epoch-{epoch}"
+                if self._probe("node-down", item=item,
+                               pool=pool.spec.name) is not None:
+                    for job_id in node.allocations:
+                        slowed.pop(job_id, None)  # displaced, not slowed
+                    self._fail_node(pool, node)
+                    continue
+                rule = self._probe("slow-node", item=item,
+                                   pool=pool.spec.name)
+                if rule is not None:
+                    penalty = (
+                        rule.delay_s if rule.delay_s is not None
+                        else self.slow_penalty_s
+                    )
+                    for job_id in node.allocations:
+                        slowed[job_id] = max(
+                            slowed.get(job_id, 0.0), penalty
+                        )
+        for job_id in sorted(slowed):
+            self._slow_jobs((job_id,), slowed[job_id])
+
+    # -- autoscaling / accounting -------------------------------------------
+
+    def _integrate(self) -> None:
+        now = self.engine.now
+        dt_h = (now - self._last_integrate_s) / 3600.0
+        if dt_h <= 0:
+            return
+        for pool in self.pools.values():
+            capacity = len(pool.up_nodes()) * pool.spec.workers_per_node
+            busy = pool.busy_workers()
+            pool.capacity_worker_hours += capacity * dt_h
+            pool.busy_worker_hours += busy * dt_h
+            watts = pool.reference.power(capacity) if capacity else 0.0
+            pool.energy_kwh += watts * dt_h / 1000.0
+        self._last_integrate_s = now
+
+    def _queued_workers(self, pool: _PoolState) -> int:
+        total = 0
+        for job in self._queue:
+            need = self._need(pool, job.arrival)
+            if need is not None and need <= pool.spec.max_workers:
+                total += need
+        return total
+
+    def _autoscale(self) -> None:
+        for pool in self.pools.values():
+            spec = pool.spec
+            snapshot = PoolSnapshot(
+                nodes=pool.committed_nodes,
+                workers_per_node=spec.workers_per_node,
+                busy_workers=pool.busy_workers(),
+                queued_workers=self._queued_workers(pool),
+                min_nodes=spec.min_nodes,
+                max_nodes=spec.max_nodes,
+            )
+            target = snapshot.clamp(int(self.autoscaler.target_nodes(snapshot)))
+            delta = target - pool.committed_nodes
+            if delta > 0:
+                self._grow(pool, delta)
+            elif delta < 0:
+                self._shrink(pool, -delta)
+            pool.peak_nodes = max(pool.peak_nodes, pool.committed_nodes)
+
+    def _grow(self, pool: _PoolState, count: int) -> None:
+        pool.pending += count
+
+        def activate() -> None:
+            pool.pending -= count
+            for _ in range(count):
+                pool.nodes.append(_Node(pool.next_node_id))
+                pool.next_node_id += 1
+            self._drain()
+
+        self.engine.schedule(pool.spec.scaleup_latency_s, activate)
+
+    def _shrink(self, pool: _PoolState, count: int) -> None:
+        """Cancel pending nodes first, then retire idle up nodes (highest
+        id first).  Nodes running jobs — and down nodes mid-repair — are
+        never reclaimed."""
+        cancelled = min(count, pool.pending)
+        pool.pending -= cancelled
+        count -= cancelled
+        if count <= 0:
+            return
+        for node in sorted(pool.nodes, key=lambda n: -n.id):
+            if count <= 0:
+                break
+            if node.up and not node.allocations:
+                node.retired = True
+                pool.nodes.remove(node)
+                count -= 1
+
+    def _sample(self) -> None:
+        now = self.engine.now
+        if now - self._last_sample_s < self.sample_every_s:
+            return
+        self._last_sample_s = now
+        for name in sorted(self.pools):
+            pool = self.pools[name]
+            self._samples.append(PoolSample(
+                t_s=round(now, 3),
+                pool=name,
+                nodes=pool.committed_nodes,
+                busy_workers=pool.busy_workers(),
+                queued_jobs=len(self._queue),
+            ))
+
+    # -- the run -------------------------------------------------------------
+
+    def _step_process(self):
+        while True:
+            yield Timeout(self.step_s)
+            self._integrate()
+            epoch = int(self.engine.now // self.fault_epoch_s)
+            if epoch != self._last_fault_epoch:
+                self._last_fault_epoch = epoch
+                self._probe_nodes(epoch)
+            self._autoscale()
+            self._drain()
+            self._sample()
+            all_arrived = self._arrived >= self._expected
+            if all_arrived and self._terminal >= len(self._jobs):
+                return
+
+    def run(self, max_events: int = 5_000_000) -> FleetResult:
+        """Execute the whole trace; returns the frozen result."""
+        for arrival in self.trace.arrivals:
+            self.engine.schedule(
+                arrival.submit_s,
+                lambda arrival=arrival: self._on_arrival(arrival, True),
+            )
+        self.engine.spawn("fleet-step", self._step_process())
+        self.engine.run(max_events=max_events)
+        self._integrate()
+        if self._terminal < len(self._jobs) or self._arrived < self._expected:
+            raise FleetError(
+                f"fleet run ended with {len(self._jobs) - self._terminal} "
+                "non-terminal jobs — simulator invariant broken"
+            )
+        return self._build_result()
+
+    def _build_result(self) -> FleetResult:
+        records = []
+        for job_id in sorted(self._jobs):
+            job = self._jobs[job_id]
+            records.append(FleetJobRecord(
+                job_id=job_id,
+                model=job.arrival.model,
+                num_gpus=job.arrival.num_gpus,
+                priority=job.arrival.priority,
+                state=job.state,
+                pool=job.pool,
+                submit_s=job.arrival.submit_s,
+                start_s=round(job.start_s, 3) if job.start_s is not None else None,
+                finish_s=round(job.finish_s, 3) if job.finish_s is not None else None,
+                queue_s=round(job.waited_s, 3),
+                reschedules=job.reschedules,
+            ))
+        usages = []
+        total_cost = 0.0
+        total_capacity_wh = 0.0
+        total_busy_wh = 0.0
+        for name in sorted(self.pools):
+            pool = self.pools[name]
+            spec = pool.spec
+            cost = capacity_cost(
+                peak_capex=pool.reference.capex(
+                    pool.peak_nodes * spec.workers_per_node
+                ),
+                energy_kwh=pool.energy_kwh,
+                capacity_hours=pool.capacity_worker_hours,
+                calibration=self.calibration,
+            )
+            usages.append(PoolUsage(
+                name=name,
+                system=spec.system,
+                workers_per_node=spec.workers_per_node,
+                peak_nodes=pool.peak_nodes,
+                jobs_completed=pool.jobs_completed,
+                node_failures=pool.node_failures,
+                capacity_worker_hours=round(pool.capacity_worker_hours, 6),
+                busy_worker_hours=round(pool.busy_worker_hours, 6),
+                energy_kwh=round(pool.energy_kwh, 6),
+                capex=round(cost.capex, 6),
+                opex=round(cost.opex, 6),
+            ))
+            total_cost += cost.total
+            total_capacity_wh += pool.capacity_worker_hours
+            total_busy_wh += pool.busy_worker_hours
+        waits = sorted(
+            job.queue_s for job in records if job.state == "completed"
+        )
+        completed = len(waits)
+        rejected = sum(1 for job in records if job.state == "rejected")
+        mean_queue = sum(waits) / completed if completed else 0.0
+        p95_queue = waits[max(0, -(-95 * completed // 100) - 1)] if completed else 0.0
+        attained = sum(1 for wait in waits if wait <= self.slo_queue_s)
+        injector = self._injector if self._injector is not None else active_injector()
+        return FleetResult(
+            trace_kind=self.trace.kind,
+            trace_seed=self.trace.seed,
+            policy=self.policy.name,
+            autoscaler=self.autoscaler.name,
+            num_jobs=len(records),
+            completed=completed,
+            rejected=rejected,
+            displacements=sum(j.displacements for j in self._jobs.values()),
+            reschedules=sum(j.reschedules for j in self._jobs.values()),
+            makespan_s=round(self._last_terminal_s, 3),
+            mean_queue_s=round(mean_queue, 3),
+            p95_queue_s=round(p95_queue, 3),
+            slo_queue_s=self.slo_queue_s,
+            slo_attainment=round(attained / completed, 6) if completed else 1.0,
+            utilization=round(
+                total_busy_wh / total_capacity_wh, 6
+            ) if total_capacity_wh > 0 else 0.0,
+            total_cost=round(total_cost, 6),
+            jobs=tuple(records),
+            pools=tuple(usages),
+            samples=tuple(self._samples),
+            fault_fires=injector.fire_counts() if injector is not None else {},
+        )
+
+
+def run_fleet(
+    trace: Trace,
+    pools: Optional[Tuple[PoolSpec, ...]] = None,
+    policy: str = "first-fit",
+    autoscaler: str = "fixed",
+    calibration: Calibration = CALIBRATION,
+    injector: Optional[FaultInjector] = None,
+    **kwargs,
+) -> FleetResult:
+    """One-call convenience wrapper around :class:`FleetSimulator`."""
+    simulator = FleetSimulator(
+        trace,
+        pools=pools,
+        policy=policy,
+        autoscaler=autoscaler,
+        calibration=calibration,
+        injector=injector,
+        **kwargs,
+    )
+    return simulator.run()

@@ -1,7 +1,8 @@
 """Structured run telemetry: one timing-event schema over the batch
-journal, the serve job index, and ``repro bench`` reports, plus the
-committed trend store and noise-aware regression comparison behind
-``repro trend`` (see ``docs/telemetry.md``)."""
+journal, the serve job index, ``repro bench`` reports, and fleet
+simulation results, plus the committed trend store and noise-aware
+regression comparison behind ``repro trend`` (see
+``docs/telemetry.md``)."""
 
 from repro.telemetry.events import (
     EVENT_OUTCOMES,
@@ -12,6 +13,7 @@ from repro.telemetry.events import (
     collect_events,
     events_from_batch_journal,
     events_from_bench_report,
+    events_from_fleet_result,
     events_from_job_index,
 )
 from repro.telemetry.trend import (
@@ -43,6 +45,7 @@ __all__ = [
     "collect_events",
     "events_from_batch_journal",
     "events_from_bench_report",
+    "events_from_fleet_result",
     "events_from_job_index",
     "DEFAULT_BASELINE_RUNS",
     "DEFAULT_MIN_ELAPSED_S",

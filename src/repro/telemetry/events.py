@@ -39,7 +39,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 from repro.errors import TelemetryError
 
 #: every subsystem that can emit timing events
-EVENT_SOURCES = ("batch", "serve", "bench")
+EVENT_SOURCES = ("batch", "serve", "bench", "fleet")
 
 #: every outcome a timing event can carry.  ``ok`` timings feed trend
 #: comparison; the rest are kept for attribution (a task that flipped
@@ -312,13 +312,47 @@ def events_from_bench_report(
     return events
 
 
+def events_from_fleet_result(
+    result: Union[str, Mapping[str, Any], Any], run_id: Optional[str] = None
+) -> List[TimingEvent]:
+    """Timing events from a fleet run (a FleetResult, its dict, or a JSON
+    file holding one).
+
+    Delegates to :meth:`~repro.fleet.result.FleetResult.telemetry_events`:
+    per-job ``queue``/``run`` events keyed by model, per-pool ``capacity``
+    events carrying the utilization/energy/cost metrics, and one
+    whole-run ``fleet/run`` rollup.
+    """
+    from repro.fleet.result import FleetResult
+
+    if isinstance(result, str):
+        try:
+            with open(result) as handle:
+                result = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise TelemetryError(f"cannot read fleet result {result}: {exc}")
+    if isinstance(result, Mapping):
+        try:
+            result = FleetResult.from_dict(result)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TelemetryError(f"malformed fleet result payload: {exc}")
+    if not isinstance(result, FleetResult):
+        raise TelemetryError(
+            f"expected a FleetResult, its dict, or a JSON path, "
+            f"got {result!r}"
+        )
+    resolved = run_id or f"fleet-{result.trace_kind}-{result.trace_seed}"
+    return result.telemetry_events(resolved)
+
+
 def collect_events(
     batch_journals: Tuple[str, ...] = (),
     serve_indexes: Tuple[str, ...] = (),
     bench_reports: Tuple[str, ...] = (),
+    fleet_results: Tuple[str, ...] = (),
     run_id: Optional[str] = None,
 ) -> List[TimingEvent]:
-    """Extract and concatenate events from any mix of the three sources."""
+    """Extract and concatenate events from any mix of the four sources."""
     events: List[TimingEvent] = []
     for path in batch_journals:
         events.extend(events_from_batch_journal(path, run_id=run_id))
@@ -326,4 +360,6 @@ def collect_events(
         events.extend(events_from_job_index(path, run_id=run_id))
     for path in bench_reports:
         events.extend(events_from_bench_report(path, run_id=run_id))
+    for path in fleet_results:
+        events.extend(events_from_fleet_result(path, run_id=run_id))
     return events

@@ -84,6 +84,16 @@ class TestScheduling:
         with pytest.raises(ConfigurationError):
             FleetScheduler(presto_factory, 0)
 
+    def test_zero_capacity_report_utilization_is_zero(self):
+        """A hand-built/decoded report with an empty pool must not divide
+        by zero: utilization pins to 0.0 (the scheduler itself refuses to
+        construct such a pool)."""
+        from repro.core.scheduler import FleetReport
+
+        report = FleetReport(system_name="PreSto", pool_capacity=0)
+        assert report.utilization == 0.0
+        assert report.workers_used == 0
+
 
 class TestMinPool:
     def test_min_pool_admits_everything(self):

@@ -54,8 +54,9 @@ def results_by_id():
 
 
 class TestRegistryCompleteness:
-    def test_twenty_experiments(self):
-        assert len(EXPERIMENT_REGISTRY) == 20  # 13 figures/tables + 7 ablations
+    def test_twenty_two_experiments(self):
+        # 13 figures/tables + 7 ablations + 2 fleet experiments
+        assert len(EXPERIMENT_REGISTRY) == 22
 
     def test_every_module_registered_exactly_once(self):
         """Each experiment module contributes exactly one registration."""
@@ -81,12 +82,14 @@ class TestRegistryCompleteness:
             "Ablation: unit lane sweep", "Sensitivity: link speed",
             "Fleet: network contention", "Sensitivity: batch size",
             "Fleet: multi-job scheduling",
+            "Fleet TCO: diurnal trace, autoscaled",
+            "Fleet resilience: failure injection",
         )
 
     def test_kind_filters(self):
         assert len(EXPERIMENT_REGISTRY.ids("figure")) == 11
         assert EXPERIMENT_REGISTRY.ids("table") == ("table1", "table2")
-        assert len(EXPERIMENT_REGISTRY.ids("ablation")) == 7
+        assert len(EXPERIMENT_REGISTRY.ids("ablation")) == 9
         assert available_experiments() == EXPERIMENT_REGISTRY.ids()
 
     def test_runners_keep_working_as_plain_functions(self):
@@ -205,7 +208,7 @@ class TestPluginHook:
 
     def test_blank_entries_ignored(self, monkeypatch):
         monkeypatch.setenv("REPRO_EXPERIMENTS", " , ,")
-        assert len(available_experiments()) == 20
+        assert len(available_experiments()) == 22
 
 
 class TestExperimentRun:

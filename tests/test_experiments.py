@@ -29,7 +29,8 @@ def results():
 
 class TestEveryExperimentRuns:
     def test_all_present(self, results):
-        assert len(results) == 20  # 13 paper figures/tables + 7 ablations
+        # 13 paper figures/tables + 7 ablations + 2 fleet experiments
+        assert len(results) == 22
 
     @pytest.mark.parametrize(
         "name",

@@ -4,6 +4,7 @@ silently produce wrong tensors — and the streaming service must survive
 the same injections without hanging its queue."""
 
 import dataclasses
+import json
 
 import numpy as np
 import pytest
@@ -283,3 +284,72 @@ class TestSigkillRecovery:
             if daemon.poll() is None:
                 daemon.kill()
                 daemon.wait(timeout=30.0)
+
+
+# ---------------------------------------------------------------------------
+# chaos --tier fleet
+# ---------------------------------------------------------------------------
+
+
+class TestChaosFleet:
+    def test_fleet_matrix_holds_invariants(self, tmp_path):
+        from repro.faults.chaos import (
+            DEFAULT_FLEET_FAULTS,
+            check_report,
+            run_chaos,
+        )
+
+        report = run_chaos(
+            DEFAULT_FLEET_FAULTS, seed=5, tier="fleet",
+            spool_root=str(tmp_path), num_jobs=4,
+        )
+        assert report["tier"] == "fleet"
+        check_report(report)  # raises on any violated invariant
+        assert report["ok"]
+        assert {ep["fault"] for ep in report["episodes"]} == set(
+            DEFAULT_FLEET_FAULTS
+        )
+        for episode in report["episodes"]:
+            assert episode["violations"] == []
+            states = episode["states"]
+            assert states["completed"] + states["rejected"] == (
+                episode["jobs"]
+            )
+
+    def test_fleet_matrix_deterministic(self, tmp_path):
+        from repro.faults.chaos import deterministic_view, run_chaos
+
+        kwargs = dict(seed=11, tier="fleet", num_jobs=3)
+        first = run_chaos(
+            ("node-down",), spool_root=str(tmp_path / "a"), **kwargs
+        )
+        second = run_chaos(
+            ("node-down",), spool_root=str(tmp_path / "b"), **kwargs
+        )
+        assert deterministic_view(first) == deterministic_view(second)
+
+    def test_node_down_episode_displaces_and_recovers(self, tmp_path):
+        from repro.faults.chaos import run_fleet_episode
+        from repro.fleet import FleetResult
+
+        episode = run_fleet_episode(
+            "node-down", seed=3, spool_dir=str(tmp_path), num_jobs=5,
+            rate=0.05,
+        )
+        assert episode["violations"] == []
+        assert episode["displacements"] > 0  # the fault actually bit
+        assert episode["reschedules"] == episode["displacements"]
+        assert sum(episode["fired"].values()) > 0
+        # the FleetResult artifact is uploadable and round-trips
+        with open(tmp_path / "fleet_result.json") as handle:
+            result = FleetResult.from_dict(json.load(handle))
+        assert result.digest == episode["digest"]
+
+    def test_serve_kwargs_accepted_and_ignored(self, tmp_path):
+        from repro.faults.chaos import run_fleet_episode
+
+        episode = run_fleet_episode(
+            "arrival-burst", seed=2, spool_dir=str(tmp_path), num_jobs=2,
+            rows=64, shards=1, workers=2, job_timeout_s=5.0,
+        )
+        assert episode["violations"] == []

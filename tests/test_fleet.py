@@ -1,0 +1,368 @@
+"""Tests for the trace-driven fleet simulation tier: seeded arrival
+traces replay byte-identically, the simulator is deterministic under
+every placement-policy x autoscaler combination (with and without fault
+injection), and results flow losslessly into telemetry."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.fleet import (
+    AUTOSCALE_KINDS,
+    TRACE_KINDS,
+    FleetResult,
+    JobArrival,
+    PoolSnapshot,
+    PoolSpec,
+    Trace,
+    available_autoscalers,
+    available_policies,
+    generate_trace,
+    get_autoscaler,
+    get_policy,
+    run_fleet,
+)
+from repro.telemetry import events_from_fleet_result
+
+#: a small heterogeneous fleet that keeps simulator tests fast
+SMALL_POOLS = (
+    PoolSpec(
+        name="disagg-cpu",
+        system="Disagg",
+        nodes=48,
+        workers_per_node=32,
+        min_nodes=16,
+        max_nodes=96,
+        scaleup_latency_s=120.0,
+    ),
+    PoolSpec(
+        name="presto-ssd",
+        system="PreSto",
+        nodes=8,
+        workers_per_node=8,
+        min_nodes=4,
+        max_nodes=32,
+        scaleup_latency_s=120.0,
+    ),
+)
+
+
+def small_trace(num_jobs=40, seed=5, kind="diurnal"):
+    return generate_trace(
+        kind,
+        num_jobs=num_jobs,
+        seed=seed,
+        horizon_s=6 * 3600.0,
+        mean_duration_s=1200.0,
+    )
+
+
+class TestTraceGeneration:
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_same_seed_same_trace(self, kind):
+        a = generate_trace(kind, num_jobs=30, seed=9)
+        b = generate_trace(kind, num_jobs=30, seed=9)
+        assert a == b
+        assert a.to_jsonl() == b.to_jsonl()
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("diurnal", num_jobs=30, seed=1)
+        b = generate_trace("diurnal", num_jobs=30, seed=2)
+        assert a != b
+
+    def test_kinds_differ(self):
+        traces = {
+            kind: generate_trace(kind, num_jobs=30, seed=4)
+            for kind in TRACE_KINDS
+        }
+        jsonls = {t.to_jsonl() for t in traces.values()}
+        assert len(jsonls) == len(TRACE_KINDS)
+
+    def test_arrivals_sorted_and_unique(self):
+        trace = generate_trace("bursty", num_jobs=50, seed=3)
+        times = [a.submit_s for a in trace.arrivals]
+        assert times == sorted(times)
+        ids = [a.job_id for a in trace.arrivals]
+        assert len(ids) == len(set(ids)) == 50
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            generate_trace("weibull", num_jobs=10, seed=0)
+
+    def test_jsonl_round_trip_byte_identical(self):
+        trace = generate_trace("poisson", num_jobs=25, seed=7)
+        text = trace.to_jsonl()
+        assert Trace.from_jsonl(text).to_jsonl() == text
+
+    def test_save_load(self, tmp_path):
+        trace = generate_trace("diurnal", num_jobs=20, seed=2)
+        path = str(tmp_path / "trace.jsonl")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded == trace
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+        assert header["format"] == "repro-fleet-trace"
+
+
+class TestRegistries:
+    def test_builtin_policies(self):
+        assert {"first-fit", "best-fit", "priority"} <= set(
+            available_policies()
+        )
+
+    def test_builtin_autoscalers(self):
+        assert set(AUTOSCALE_KINDS) <= set(available_autoscalers())
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_policy("round-robin")
+
+    def test_unknown_autoscaler_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_autoscaler("predictive")
+
+
+class TestAutoscalers:
+    def snapshot(self, **kwargs):
+        defaults = dict(
+            nodes=8,
+            workers_per_node=4,
+            busy_workers=16,
+            queued_workers=0,
+            min_nodes=2,
+            max_nodes=32,
+        )
+        defaults.update(kwargs)
+        return PoolSnapshot(**defaults)
+
+    def test_fixed_holds(self):
+        scaler = get_autoscaler("fixed")
+        assert scaler.target_nodes(self.snapshot()) == 8
+
+    def test_target_utilization_grows_under_load(self):
+        scaler = get_autoscaler("target-utilization")
+        snap = self.snapshot(busy_workers=30, queued_workers=20)
+        # ceil(50 / (0.7 * 4)) = 18 nodes
+        assert scaler.target_nodes(snap) == 18
+
+    def test_target_utilization_shrinks_when_idle(self):
+        scaler = get_autoscaler("target-utilization")
+        snap = self.snapshot(busy_workers=0, queued_workers=0)
+        assert scaler.target_nodes(snap) == 2  # min_nodes
+
+    def test_queue_depth_adds_for_backlog(self):
+        scaler = get_autoscaler("queue-depth")
+        snap = self.snapshot(queued_workers=9)
+        assert scaler.target_nodes(snap) == 8 + 3  # ceil(9/4) extra nodes
+
+    def test_clamped_to_max(self):
+        scaler = get_autoscaler("queue-depth")
+        snap = self.snapshot(queued_workers=10_000)
+        assert scaler.target_nodes(snap) == 32
+
+
+class TestSimulatorDeterminism:
+    @pytest.mark.parametrize("policy", ("first-fit", "best-fit", "priority"))
+    @pytest.mark.parametrize("autoscaler", AUTOSCALE_KINDS)
+    def test_rerun_identical(self, policy, autoscaler):
+        trace = small_trace(num_jobs=25, seed=13)
+        runs = [
+            run_fleet(
+                trace, pools=SMALL_POOLS, policy=policy, autoscaler=autoscaler
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].to_dict() == runs[1].to_dict()
+        assert runs[0].digest == runs[1].digest
+        assert runs[0].all_terminal()
+        assert runs[0].completed + runs[0].rejected == runs[0].num_jobs
+
+    def test_policies_change_outcomes_not_invariants(self):
+        trace = small_trace(num_jobs=30, seed=21)
+        results = {
+            policy: run_fleet(trace, pools=SMALL_POOLS, policy=policy)
+            for policy in ("first-fit", "best-fit", "priority")
+        }
+        for result in results.values():
+            assert result.all_terminal()
+            assert result.completed == 30
+
+    def test_never_fitting_job_rejected(self):
+        arrival = JobArrival(
+            job_id="too-big",
+            model="RM5",
+            num_gpus=4096,
+            duration_s=100.0,
+            submit_s=0.0,
+        )
+        trace = Trace(kind="manual", seed=0, arrivals=(arrival,))
+        result = run_fleet(trace, pools=SMALL_POOLS)
+        assert result.rejected == 1
+        assert result.jobs[0].state == "rejected"
+        assert result.all_terminal()
+
+    def test_thousand_job_acceptance(self):
+        """The acceptance bar: a 1,000-job diurnal day on the default
+        pools is byte-identical across two serial runs."""
+        trace = generate_trace("diurnal", num_jobs=1000, seed=0)
+        first = run_fleet(trace)
+        second = run_fleet(trace)
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+        assert first.all_terminal()
+        assert first.completed + first.rejected == first.num_jobs
+
+
+class TestFaultInjection:
+    def plan(self, seed=17):
+        return FaultPlan(
+            seed=seed,
+            rules=(
+                FaultRule(point="node-down", rate=0.02),
+                FaultRule(point="slow-node", rate=0.05, delay_s=300.0),
+                FaultRule(point="arrival-burst", rate=0.05),
+            ),
+        )
+
+    def run_faulted(self, seed=17):
+        return run_fleet(
+            small_trace(num_jobs=40, seed=seed),
+            pools=SMALL_POOLS,
+            injector=FaultInjector(self.plan(seed)),
+        )
+
+    def test_replay_identical(self):
+        a = self.run_faulted()
+        b = self.run_faulted()
+        assert a.to_dict() == b.to_dict()
+
+    def test_faults_fire_and_recover(self):
+        result = self.run_faulted()
+        assert result.fault_fires  # the plan actually did something
+        assert result.all_terminal()
+        assert result.reschedules == result.displacements
+        assert sum(p.node_failures for p in result.pools) == (
+            result.fault_fires.get("node-down:down", 0)
+        )
+
+    def test_burst_clones_arrivals(self):
+        result = self.run_faulted()
+        bursts = result.fault_fires.get("arrival-burst:burst", 0)
+        if bursts:
+            assert result.num_jobs > 40
+            assert any("+burst" in j.job_id for j in result.jobs)
+
+    def test_clean_run_has_no_fires(self):
+        result = run_fleet(small_trace(num_jobs=20, seed=3), pools=SMALL_POOLS)
+        assert result.fault_fires == {}
+        assert result.displacements == 0
+
+
+class TestFleetResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fleet(small_trace(num_jobs=20, seed=8), pools=SMALL_POOLS)
+
+    def test_dict_round_trip(self, result):
+        clone = FleetResult.from_dict(result.to_dict())
+        assert clone == result
+        assert clone.digest == result.digest
+
+    def test_pool_lookup(self, result):
+        assert result.pool("disagg-cpu").system == "Disagg"
+        with pytest.raises(ConfigurationError):
+            result.pool("nonexistent")
+
+    def test_telemetry_events(self, result):
+        events = result.telemetry_events()
+        assert events
+        assert all(e.source == "fleet" for e in events)
+        run_events = [e for e in events if e.stage == "run"]
+        assert len([e for e in run_events if e.task != "fleet"]) == (
+            result.completed
+        )
+
+    def test_telemetry_extractor_from_file(self, result, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(result.to_dict()))
+        events = events_from_fleet_result(str(path))
+        assert events == result.telemetry_events(
+            run_id=f"fleet-{result.trace_kind}-{result.trace_seed}"
+        )
+
+
+class TestFleetCli:
+    def test_trace_gen_and_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        assert cli_main(
+            ["fleet", "trace", "gen", "--jobs", "15", "--seed", "4",
+             "--out", path]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(["fleet", "trace", "replay", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["byte_identical"] is True
+        assert payload["jobs"] == 15
+
+    def test_replay_detects_tampering(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        cli_main(
+            ["fleet", "trace", "gen", "--jobs", "5", "--seed", "1",
+             "--out", path]
+        )
+        with open(path) as handle:
+            lines = handle.readlines()
+        # reformat the last arrival: same record, different bytes
+        loose = json.dumps(json.loads(lines[-1]), indent=1)
+        lines[-1] = loose.replace("\n", "") + "\n"
+        with open(path, "w") as handle:
+            handle.writelines(lines)
+        capsys.readouterr()
+        assert cli_main(["fleet", "trace", "replay", path]) == 1
+        # a truncated file (header/count mismatch) fails loudly at load
+        with open(path, "w") as handle:
+            handle.writelines(lines[:-1])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="header declares"):
+            cli_main(["fleet", "trace", "replay", path])
+
+    def test_run_json_deterministic(self, tmp_path, capsys):
+        argv = [
+            "fleet", "run", "--kind", "poisson", "--jobs", "12",
+            "--seed", "6", "--policy", "best-fit",
+            "--autoscale", "queue-depth", "--faults", "node-down",
+            "--json",
+        ]
+        assert cli_main(argv) == 0
+        first = capsys.readouterr().out
+        assert cli_main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["completed"] + payload["rejected"] == (
+            payload["num_jobs"]
+        )
+
+    def test_run_writes_result_file(self, tmp_path, capsys):
+        out = str(tmp_path / "result.json")
+        assert cli_main(
+            ["fleet", "run", "--jobs", "10", "--seed", "2", "--out", out]
+        ) == 0
+        capsys.readouterr()
+        with open(out) as handle:
+            payload = json.load(handle)
+        events = events_from_fleet_result(out)
+        assert events
+        assert payload["policy"] == "first-fit"
+
+    def test_unknown_fault_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="unknown fleet fault"):
+            cli_main(
+                ["fleet", "run", "--jobs", "5", "--faults", "meteor-strike"]
+            )
