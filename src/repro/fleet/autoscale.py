@@ -51,9 +51,17 @@ class PoolSnapshot:
 
 
 class Autoscaler:
-    """Base autoscaler: hold the current node count (``fixed``)."""
+    """Base autoscaler: hold the current node count (``fixed``).
+
+    Subclasses that can ever *raise* a pool's node count must set
+    ``can_grow = True`` — the simulator uses it to decide whether a job
+    larger than today's capacity could ever be placed (keep it queued
+    until the pool grows) or never will be (reject it up front instead
+    of letting it head-of-line block the queue forever).
+    """
 
     name = "fixed"
+    can_grow = False
 
     def target_nodes(self, pool: PoolSnapshot) -> int:
         """The node count this pool should converge to."""
@@ -148,6 +156,8 @@ class TargetUtilizationAutoscaler(Autoscaler):
     before jobs time out in the queue.
     """
 
+    can_grow = True
+
     def __init__(self, target: float = 0.7) -> None:
         if not (0.0 < target <= 1.0):
             raise ConfigurationError(
@@ -165,13 +175,21 @@ class TargetUtilizationAutoscaler(Autoscaler):
 
 @register_autoscaler("queue-depth")
 class QueueDepthAutoscaler(Autoscaler):
-    """Chase the backlog: add exactly the nodes the queue needs, shed
-    nodes the moment the queue is empty and workers sit idle."""
+    """Chase the backlog: size the pool to exactly the workers running
+    plus queued jobs need (no utilization headroom, unlike
+    ``target-utilization``), and shed nodes the moment workers sit idle.
+
+    Demand is sized absolutely — never added on top of the current node
+    count — because queued jobs stay queued for the whole scale-up
+    latency; re-adding the same backlog to committed capacity every step
+    would compound into a roughly ``scaleup_latency_s / step_s``-fold
+    overshoot.
+    """
+
+    can_grow = True
 
     def target_nodes(self, pool: PoolSnapshot) -> int:
-        wpn = pool.workers_per_node
-        if pool.queued_workers > 0:
-            wanted = pool.nodes + math.ceil(pool.queued_workers / wpn)
-        else:
-            wanted = math.ceil(pool.busy_workers / wpn) if pool.busy_workers else pool.min_nodes
-        return pool.clamp(wanted)
+        demand = pool.busy_workers + pool.queued_workers
+        if not demand:
+            return pool.clamp(pool.min_nodes)
+        return pool.clamp(math.ceil(demand / pool.workers_per_node))

@@ -44,6 +44,7 @@ class FleetJobRecord:
     finish_s: Optional[float] = None
     queue_s: float = 0.0
     reschedules: int = 0
+    displacements: int = 0
 
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:

@@ -163,8 +163,9 @@ class _PoolState:
 
     __slots__ = (
         "spec", "reference", "systems", "need_cache", "nodes", "pending",
-        "next_node_id", "peak_nodes", "capacity_worker_hours",
-        "busy_worker_hours", "energy_kwh", "jobs_completed", "node_failures",
+        "grow_batches", "next_node_id", "peak_nodes",
+        "capacity_worker_hours", "busy_worker_hours", "energy_kwh",
+        "jobs_completed", "node_failures",
     )
 
     def __init__(self, spec: PoolSpec, calibration: Calibration) -> None:
@@ -176,6 +177,7 @@ class _PoolState:
         self.need_cache: Dict[Tuple[str, int], Optional[int]] = {}
         self.nodes: List[_Node] = [_Node(i) for i in range(spec.nodes)]
         self.pending = 0  # nodes bought but not yet online
+        self.grow_batches: List[List[int]] = []  # surviving count per grow
         self.next_node_id = spec.nodes
         self.peak_nodes = spec.nodes
         self.capacity_worker_hours = 0.0
@@ -258,6 +260,7 @@ class FleetSimulator:
             spec.name: _PoolState(spec, calibration) for spec in pool_specs
         }
         self._jobs: Dict[str, _Job] = {}
+        self._used_ids = {arrival.job_id for arrival in trace.arrivals}
         self._queue: List[_Job] = []
         self._arrived = 0
         self._expected = len(trace)
@@ -301,10 +304,19 @@ class FleetSimulator:
             pool.need_cache[key] = need
         return pool.need_cache[key]
 
+    def _reachable_workers(self, pool: _PoolState) -> int:
+        """The most workers this pool can ever offer a queued job: the
+        spec's maximum when the autoscaler grows pools, the committed
+        capacity when it holds — a job sized past that would queue
+        forever, head-of-line blocking everything behind it."""
+        if self.autoscaler.can_grow:
+            return pool.spec.max_workers
+        return pool.committed_nodes * pool.spec.workers_per_node
+
     def _fits_ever(self, arrival: JobArrival) -> bool:
         for pool in self.pools.values():
             need = self._need(pool, arrival)
-            if need is not None and need <= pool.spec.max_workers:
+            if need is not None and need <= self._reachable_workers(pool):
                 return True
         return False
 
@@ -319,11 +331,20 @@ class FleetSimulator:
             )
             if rule is not None:
                 clones = int(rule.delay_s) if rule.delay_s else BURST_CLONES
-                for index in range(max(1, clones)):
-                    clone = dataclasses.replace(
-                        arrival, job_id=f"{arrival.job_id}+burst{index}"
+                suffix = 0
+                for _ in range(max(1, clones)):
+                    # a recorded trace may legitimately hold a job id of
+                    # the clone shape; skip suffixes until the id is free
+                    # so a clone never overwrites another job's state
+                    while True:
+                        clone_id = f"{arrival.job_id}+burst{suffix}"
+                        suffix += 1
+                        if clone_id not in self._used_ids:
+                            break
+                    self._used_ids.add(clone_id)
+                    jobs.append(
+                        dataclasses.replace(arrival, job_id=clone_id)
                     )
-                    jobs.append(clone)
                     self._expected += 1
                     self._arrived += 1
         for entry in jobs:
@@ -376,6 +397,11 @@ class FleetSimulator:
         job.waited_s += now - job.enqueued_s
         if job.start_s is None:
             job.start_s = now
+        else:
+            # a previously-displaced job won capacity again; counted here
+            # (not at displacement time) so reschedules independently
+            # witnesses the requeue->replace path the chaos tier gates
+            job.reschedules += 1
         job.token += 1
         token = job.token
         finish = now + job.arrival.duration_s
@@ -444,7 +470,6 @@ class FleetSimulator:
         job.pool = None
         job.finish_s = None
         job.displacements += 1
-        job.reschedules += 1
         job.enqueued_s = self.engine.now
         self._queue.append(job)
 
@@ -548,25 +573,53 @@ class FleetSimulator:
                 self._shrink(pool, -delta)
             pool.peak_nodes = max(pool.peak_nodes, pool.committed_nodes)
 
+    def _check_pending(self, pool: _PoolState) -> None:
+        """The pending ledger must equal the surviving grow batches and
+        never go negative — a mismatch means phantom nodes the autoscaler
+        cannot see."""
+        if pool.pending < 0 or pool.pending != sum(
+            batch[0] for batch in pool.grow_batches
+        ):
+            raise FleetError(
+                f"pool {pool.spec.name!r}: pending-growth ledger out of "
+                f"sync (pending={pool.pending}, batches="
+                f"{[batch[0] for batch in pool.grow_batches]})"
+            )
+
     def _grow(self, pool: _PoolState, count: int) -> None:
+        # each grow is a cancellable batch: _shrink may decrement the
+        # surviving count before the scale-up latency elapses, and only
+        # the remainder comes online when the callback fires
+        batch = [count]
         pool.pending += count
+        pool.grow_batches.append(batch)
+        self._check_pending(pool)
 
         def activate() -> None:
-            pool.pending -= count
-            for _ in range(count):
+            pool.grow_batches.remove(batch)
+            surviving = batch[0]
+            pool.pending -= surviving
+            self._check_pending(pool)
+            for _ in range(surviving):
                 pool.nodes.append(_Node(pool.next_node_id))
                 pool.next_node_id += 1
-            self._drain()
+            if surviving:
+                self._drain()
 
         self.engine.schedule(pool.spec.scaleup_latency_s, activate)
 
     def _shrink(self, pool: _PoolState, count: int) -> None:
-        """Cancel pending nodes first, then retire idle up nodes (highest
-        id first).  Nodes running jobs — and down nodes mid-repair — are
-        never reclaimed."""
-        cancelled = min(count, pool.pending)
-        pool.pending -= cancelled
-        count -= cancelled
+        """Cancel pending growth first (newest batch first), then retire
+        idle up nodes (highest id first).  Nodes running jobs — and down
+        nodes mid-repair — are never reclaimed."""
+        for batch in reversed(pool.grow_batches):
+            if count <= 0:
+                break
+            cancelled = min(count, batch[0])
+            batch[0] -= cancelled
+            pool.pending -= cancelled
+            count -= cancelled
+        self._check_pending(pool)
         if count <= 0:
             return
         for node in sorted(pool.nodes, key=lambda n: -n.id):
@@ -642,6 +695,7 @@ class FleetSimulator:
                 finish_s=round(job.finish_s, 3) if job.finish_s is not None else None,
                 queue_s=round(job.waited_s, 3),
                 reschedules=job.reschedules,
+                displacements=job.displacements,
             ))
         usages = []
         total_cost = 0.0

@@ -155,15 +155,35 @@ class TestAutoscalers:
         snap = self.snapshot(busy_workers=0, queued_workers=0)
         assert scaler.target_nodes(snap) == 2  # min_nodes
 
-    def test_queue_depth_adds_for_backlog(self):
+    def test_queue_depth_sizes_to_demand(self):
         scaler = get_autoscaler("queue-depth")
         snap = self.snapshot(queued_workers=9)
-        assert scaler.target_nodes(snap) == 8 + 3  # ceil(9/4) extra nodes
+        # ceil((16 busy + 9 queued) / 4) — absolute, not added to nodes
+        assert scaler.target_nodes(snap) == 7
+
+    def test_queue_depth_does_not_compound_backlog(self):
+        """The same backlog must not be re-added on top of capacity
+        already on the way: once committed nodes cover busy + queued
+        demand, the target stops growing."""
+        scaler = get_autoscaler("queue-depth")
+        grown = self.snapshot(nodes=20, busy_workers=16, queued_workers=9)
+        assert scaler.target_nodes(grown) == 7
+        assert scaler.target_nodes(grown) <= grown.nodes
+
+    def test_queue_depth_sheds_when_idle(self):
+        scaler = get_autoscaler("queue-depth")
+        snap = self.snapshot(busy_workers=0, queued_workers=0)
+        assert scaler.target_nodes(snap) == 2  # min_nodes
 
     def test_clamped_to_max(self):
         scaler = get_autoscaler("queue-depth")
         snap = self.snapshot(queued_workers=10_000)
         assert scaler.target_nodes(snap) == 32
+
+    def test_can_grow_flags(self):
+        assert get_autoscaler("fixed").can_grow is False
+        assert get_autoscaler("target-utilization").can_grow is True
+        assert get_autoscaler("queue-depth").can_grow is True
 
 
 class TestSimulatorDeterminism:
@@ -219,6 +239,81 @@ class TestSimulatorDeterminism:
         assert first.completed + first.rejected == first.num_jobs
 
 
+class TestGrowShrinkLedger:
+    def empty_sim(self):
+        from repro.fleet.simulator import FleetSimulator
+
+        trace = Trace(kind="manual", seed=0, arrivals=())
+        return FleetSimulator(trace, pools=SMALL_POOLS)
+
+    def test_shrink_cancels_in_flight_growth(self):
+        """grow(3) then shrink(3): the already-scheduled activate
+        callback must not add phantom nodes or drive pending negative."""
+        sim = self.empty_sim()
+        pool = sim.pools["presto-ssd"]
+        before = len(pool.nodes)
+        sim._grow(pool, 3)
+        sim._shrink(pool, 3)
+        assert pool.pending == 0
+        sim.engine.run(max_events=10)  # fire the activate callback
+        assert pool.pending == 0
+        assert len(pool.nodes) == before
+        assert pool.committed_nodes == before
+
+    def test_partial_cancel_activates_only_the_remainder(self):
+        sim = self.empty_sim()
+        pool = sim.pools["presto-ssd"]
+        before = len(pool.nodes)
+        sim._grow(pool, 2)
+        sim._grow(pool, 3)
+        sim._shrink(pool, 4)  # cancels newest growth first: all 3, then 1
+        assert pool.pending == 1
+        sim.engine.run(max_events=10)
+        assert pool.pending == 0
+        assert len(pool.nodes) == before + 1
+
+
+class TestReachableCapacity:
+    #: Disagg/RM5 at 8 GPUs needs 367 workers — more than the 200 this
+    #: pool starts with, less than the 800 it can grow to
+    TINY = (
+        PoolSpec(
+            name="tiny",
+            system="Disagg",
+            nodes=2,
+            workers_per_node=100,
+            min_nodes=1,
+            max_nodes=8,
+            scaleup_latency_s=60.0,
+        ),
+    )
+
+    def trace(self):
+        arrival = JobArrival(
+            job_id="needs-growth",
+            model="RM5",
+            num_gpus=8,
+            duration_s=600.0,
+            submit_s=0.0,
+        )
+        return Trace(kind="manual", seed=0, arrivals=(arrival,))
+
+    def test_fixed_pool_rejects_unreachable_job(self):
+        """Under the non-growing autoscaler a job larger than committed
+        capacity can never be placed — it must be rejected up front, not
+        queue forever and hang the run."""
+        result = run_fleet(self.trace(), pools=self.TINY, autoscaler="fixed")
+        assert result.rejected == 1
+        assert result.all_terminal()
+
+    def test_growing_pool_serves_the_same_job(self):
+        result = run_fleet(
+            self.trace(), pools=self.TINY, autoscaler="target-utilization"
+        )
+        assert result.completed == 1
+        assert result.all_terminal()
+
+
 class TestFaultInjection:
     def plan(self, seed=17):
         return FaultPlan(
@@ -247,6 +342,13 @@ class TestFaultInjection:
         assert result.fault_fires  # the plan actually did something
         assert result.all_terminal()
         assert result.reschedules == result.displacements
+        # displacement (eviction) and reschedule (winning capacity again)
+        # are counted on independent code paths; they must agree per job,
+        # and a displaced job must finish — never strand or get rejected
+        for job in result.jobs:
+            assert job.reschedules == job.displacements
+            if job.displacements:
+                assert job.state == "completed"
         assert sum(p.node_failures for p in result.pools) == (
             result.fault_fires.get("node-down:down", 0)
         )
@@ -257,6 +359,33 @@ class TestFaultInjection:
         if bursts:
             assert result.num_jobs > 40
             assert any("+burst" in j.job_id for j in result.jobs)
+
+    def test_burst_clone_ids_never_collide_with_trace_ids(self):
+        """A recorded trace may legitimately hold an id shaped like a
+        burst clone; the minted clone must skip it, not overwrite the
+        real job's state."""
+        arrivals = (
+            JobArrival(job_id="job-x", model="RM1", num_gpus=8,
+                       duration_s=300.0, submit_s=0.0),
+            JobArrival(job_id="job-x+burst0", model="RM1", num_gpus=8,
+                       duration_s=300.0, submit_s=100.0),
+        )
+        trace = Trace(kind="manual", seed=0, arrivals=arrivals)
+        plan = FaultPlan(
+            seed=1, rules=(FaultRule(point="arrival-burst", rate=1.0),)
+        )
+        result = run_fleet(
+            trace, pools=SMALL_POOLS, injector=FaultInjector(plan)
+        )
+        ids = [job.job_id for job in result.jobs]
+        assert len(ids) == len(set(ids))
+        assert result.num_jobs == 6  # 2 trace arrivals + 2 clones each
+        trace_job = result.jobs[
+            ids.index("job-x+burst0")
+        ]
+        assert trace_job.submit_s == 100.0  # the real job, not a clone
+        assert result.all_terminal()
+        assert result.completed + result.rejected == result.num_jobs
 
     def test_clean_run_has_no_fires(self):
         result = run_fleet(small_trace(num_jobs=20, seed=3), pools=SMALL_POOLS)
